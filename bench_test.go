@@ -1,0 +1,239 @@
+package wwt_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus the ablations DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The corpus is generated once per process at a reduced scale so the
+// whole suite completes in seconds; cmd/wwt-experiments regenerates the
+// full-scale numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"wwt"
+	"wwt/internal/baseline"
+	"wwt/internal/consolidate"
+	"wwt/internal/core"
+	"wwt/internal/corpusgen"
+	"wwt/internal/extract"
+	"wwt/internal/inference"
+	"wwt/internal/workload"
+	"wwt/internal/wtable"
+)
+
+type benchWorld struct {
+	corpus  *corpusgen.Corpus
+	tables  []*wtable.Table
+	engine  *wwt.Engine
+	queries []workload.Query
+	// Per-query candidates and models, prebuilt so solve-only benches
+	// measure inference, not feature extraction.
+	cands  [][]*wtable.Table
+	models []*core.Model
+}
+
+var (
+	worldOnce sync.Once
+	world     *benchWorld
+)
+
+func getWorld(b *testing.B) *benchWorld {
+	b.Helper()
+	worldOnce.Do(func() {
+		corpus := corpusgen.Generate(corpusgen.Config{Seed: 2012, Scale: 0.5})
+		tables := corpus.ExtractAll(extract.NewOptions())
+		eng, err := wwt.NewEngine(tables, nil)
+		if err != nil {
+			panic(err)
+		}
+		w := &benchWorld{
+			corpus:  corpus,
+			tables:  tables,
+			engine:  eng,
+			queries: workload.FromCorpus(corpus),
+		}
+		for _, q := range w.queries {
+			cands, _, err := eng.Candidates(wwt.Query{Columns: q.Columns}, nil)
+			if err != nil {
+				cands = nil
+			}
+			builder := &core.Builder{Params: eng.Opts.Params, Stats: eng.Index, PMI: eng.PMISource()}
+			w.cands = append(w.cands, cands)
+			w.models = append(w.models, builder.Build(q.Columns, cands))
+		}
+		world = w
+	})
+	return world
+}
+
+// BenchmarkTable1Workload measures the two-stage candidate retrieval of
+// §2.2.1 across the workload (Table 1's candidate counts).
+func BenchmarkTable1Workload(b *testing.B) {
+	w := getWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.queries[i%len(w.queries)]
+		if _, _, err := w.engine.Candidates(wwt.Query{Columns: q.Columns}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5ColumnMapping measures the column-mapping stage (model
+// build + table-centric inference) that Figure 5 evaluates.
+func BenchmarkFig5ColumnMapping(b *testing.B) {
+	w := getWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.queries[i%len(w.queries)]
+		w.engine.MapColumns(wwt.Query{Columns: q.Columns}, w.cands[i%len(w.queries)])
+	}
+}
+
+// BenchmarkFig5Baseline measures the Basic baseline on the same task.
+func BenchmarkFig5Baseline(b *testing.B) {
+	w := getWorld(b)
+	cfg := baseline.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := i % len(w.queries)
+		baseline.Solve(baseline.Basic, cfg, w.queries[qi].Columns, w.cands[qi], w.engine.Index, nil)
+	}
+}
+
+// BenchmarkFig5PMI2 measures the PMI² baseline — the paper reports it
+// roughly 6x slower than Basic end to end (40s vs 6.3s per query).
+func BenchmarkFig5PMI2(b *testing.B) {
+	w := getWorld(b)
+	cfg := baseline.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := i % len(w.queries)
+		baseline.Solve(baseline.PMI2, cfg, w.queries[qi].Columns, w.cands[qi], w.engine.Index, w.engine.PMISource())
+	}
+}
+
+// BenchmarkFig6Consolidation measures the consolidator (Figure 6's answer
+// tables).
+func BenchmarkFig6Consolidation(b *testing.B) {
+	w := getWorld(b)
+	labelings := make([]core.Labeling, len(w.queries))
+	for i := range w.queries {
+		labelings[i] = inference.SolveTableCentric(w.models[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := i % len(w.queries)
+		consolidate.Consolidate(w.queries[qi].Q(), w.cands[qi], labelings[qi],
+			w.models[qi].Conf, w.models[qi].Rel, consolidate.NewOptions())
+	}
+}
+
+// BenchmarkFig7QueryPipeline measures the full online pipeline per query
+// (Figure 7's total running time).
+func BenchmarkFig7QueryPipeline(b *testing.B) {
+	w := getWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.queries[i%len(w.queries)]
+		if _, err := w.engine.Answer(wwt.Query{Columns: q.Columns}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Segmentation and BenchmarkFig8Unsegmented compare the cost
+// of model building under the segmented similarity (Eq. 1) and the plain
+// unsegmented cosine of §5.2.
+func BenchmarkFig8Segmentation(b *testing.B) {
+	benchModelBuild(b, false)
+}
+
+// BenchmarkFig8Unsegmented is the §5.2 comparison model's build cost.
+func BenchmarkFig8Unsegmented(b *testing.B) {
+	benchModelBuild(b, true)
+}
+
+func benchModelBuild(b *testing.B, unsegmented bool) {
+	w := getWorld(b)
+	params := w.engine.Opts.Params
+	params.Unsegmented = unsegmented
+	builder := &core.Builder{Params: params, Stats: w.engine.Index, PMI: w.engine.PMISource()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := i % len(w.queries)
+		builder.Build(w.queries[qi].Columns, w.cands[qi])
+	}
+}
+
+// BenchmarkTable2Inference benchmarks each collective inference algorithm
+// on prebuilt models (Table 2's runtime comparison: the paper reports
+// table-centric fastest, α-expansion ~5x, BP ~6x, TRWS ~30x slower).
+func BenchmarkTable2Inference(b *testing.B) {
+	w := getWorld(b)
+	for _, alg := range inference.Algorithms {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inference.Solve(w.models[i%len(w.models)], alg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEdgePotentials compares the edge-potential variants of
+// §3.3 (reweight + table-centric solve per variant).
+func BenchmarkAblationEdgePotentials(b *testing.B) {
+	w := getWorld(b)
+	for _, variant := range []core.EdgeVariant{core.EdgeCustom, core.EdgePotts, core.EdgePottsNoNR} {
+		b.Run(variant.String(), func(b *testing.B) {
+			params := w.engine.Opts.Params
+			params.Edges = variant
+			for i := 0; i < b.N; i++ {
+				m := w.models[i%len(w.models)].Reweight(params)
+				inference.SolveTableCentric(m)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMutexCut compares the constrained-cut mutex handling
+// against post-hoc repair inside α-expansion (§4.3).
+func BenchmarkAblationMutexCut(b *testing.B) {
+	w := getWorld(b)
+	b.Run("constrained-cut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inference.SolveAlphaExpansion(w.models[i%len(w.models)])
+		}
+	})
+	b.Run("post-hoc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inference.SolveAlphaExpansionPostHocMutex(w.models[i%len(w.models)])
+		}
+	})
+}
+
+// BenchmarkOfflineExtraction measures the §2.1 offline pipeline: HTML
+// parsing, table extraction, header detection and context scoring.
+func BenchmarkOfflineExtraction(b *testing.B) {
+	w := getWorld(b)
+	opts := extract.NewOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := w.corpus.Pages[i%len(w.corpus.Pages)]
+		extract.Page(p.URL, p.HTML, opts)
+	}
+}
+
+// BenchmarkIndexBuild measures building the boosted 3-field index.
+func BenchmarkIndexBuild(b *testing.B) {
+	w := getWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wwt.NewEngine(w.tables, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command wwt-corpus generates the synthetic web crawl to a directory:
+// one HTML file per page, a manifest mapping URLs to files, and the
+// ground-truth ledger.
+//
+//	wwt-corpus -out ./crawl -seed 2012 -scale 1.0
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wwt/internal/corpusgen"
+)
+
+// manifestEntry records where a page's HTML lives.
+type manifestEntry struct {
+	URL  string `json:"url"`
+	File string `json:"file"`
+}
+
+func main() {
+	out := flag.String("out", "crawl", "output directory")
+	seed := flag.Int64("seed", 2012, "generation seed")
+	scale := flag.Float64("scale", 1.0, "corpus size multiplier")
+	flag.Parse()
+
+	c := corpusgen.Generate(corpusgen.Config{Seed: *seed, Scale: *scale})
+	if err := os.MkdirAll(filepath.Join(*out, "pages"), 0o755); err != nil {
+		fatal(err)
+	}
+	manifest := make([]manifestEntry, len(c.Pages))
+	for i, p := range c.Pages {
+		file := filepath.Join("pages", fmt.Sprintf("page%05d.html", i))
+		if err := os.WriteFile(filepath.Join(*out, file), []byte(p.HTML), 0o644); err != nil {
+			fatal(err)
+		}
+		manifest[i] = manifestEntry{URL: p.URL, File: file}
+	}
+	if err := writeJSON(filepath.Join(*out, "manifest.json"), manifest); err != nil {
+		fatal(err)
+	}
+	if err := writeJSON(filepath.Join(*out, "truth.json"), c.Truth); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d pages, %d ground-truth tables to %s\n", len(c.Pages), len(c.Truth), *out)
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wwt-corpus:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command wwt-experiments regenerates every table and figure of the
+// paper's evaluation section (§5) over the synthetic corpus:
+//
+//	wwt-experiments                  # run everything
+//	wwt-experiments -exp fig5        # one experiment
+//	wwt-experiments -scale 0.5       # smaller corpus
+//
+// Experiments: table1, probe2, fig5, fig6, fig7, fig8, table2, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"wwt/internal/corpusgen"
+	"wwt/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|probe2|fig5|fig6|fig7|fig8|table2|all")
+	seed := flag.Int64("seed", 2012, "corpus generation seed")
+	scale := flag.Float64("scale", 1.0, "corpus size multiplier")
+	flag.Parse()
+
+	start := time.Now()
+	runner, err := eval.NewRunner(corpusgen.Config{Seed: *seed, Scale: *scale}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("corpus: %d pages, %d extracted tables, %d queries (setup %.1fs)\n\n",
+		len(runner.Corpus.Pages), len(runner.Tables), len(runner.Queries),
+		time.Since(start).Seconds())
+
+	experiments := map[string]func(io.Writer, *eval.Runner){
+		"table1":           eval.ExperimentTable1,
+		"corpus":           eval.ExperimentCorpusStats,
+		"probe2":           eval.ExperimentProbe2,
+		"fig5":             eval.ExperimentFig5,
+		"fig6":             eval.ExperimentFig6,
+		"fig7":             eval.ExperimentFig7,
+		"fig8":             eval.ExperimentFig8,
+		"table2":           eval.ExperimentTable2,
+		"ablation-edges":   eval.ExperimentAblationEdges,
+		"ablation-probe2":  eval.ExperimentAblationProbe2,
+		"ablation-mutex":   eval.ExperimentAblationMutex,
+		"ablation-cooccur": eval.ExperimentAblationCooccur,
+	}
+	order := []string{"table1", "corpus", "probe2", "fig5", "fig6", "fig7", "fig8", "table2",
+		"ablation-edges", "ablation-probe2", "ablation-mutex", "ablation-cooccur"}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = order
+	}
+	for _, name := range names {
+		f, ok := experiments[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(1)
+		}
+		f(os.Stdout, runner)
+		fmt.Println()
+	}
+	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,81 @@
+// Command wwt-index runs the offline pipeline of §2.1 over a crawl
+// directory produced by wwt-corpus (or any directory with the same
+// manifest layout): parse each page, extract data tables with title/
+// header/context detection, and persist the boosted 3-field index and the
+// table store.
+//
+//	wwt-index -crawl ./crawl -out ./idx
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wwt/internal/extract"
+	"wwt/internal/index"
+	"wwt/internal/wtable"
+)
+
+type manifestEntry struct {
+	URL  string `json:"url"`
+	File string `json:"file"`
+}
+
+func main() {
+	crawl := flag.String("crawl", "crawl", "crawl directory (from wwt-corpus)")
+	out := flag.String("out", "idx", "output directory for index.gob and store.gob")
+	flag.Parse()
+
+	start := time.Now()
+	data, err := os.ReadFile(filepath.Join(*crawl, "manifest.json"))
+	if err != nil {
+		fatal(err)
+	}
+	var manifest []manifestEntry
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		fatal(err)
+	}
+
+	opts := extract.NewOptions()
+	var tables []*wtable.Table
+	pages := 0
+	for _, m := range manifest {
+		html, err := os.ReadFile(filepath.Join(*crawl, m.File))
+		if err != nil {
+			fatal(fmt.Errorf("reading %s: %w", m.File, err))
+		}
+		tables = append(tables, extract.Page(m.URL, string(html), opts)...)
+		pages++
+	}
+
+	ix, err := index.Build(tables)
+	if err != nil {
+		fatal(err)
+	}
+	st := index.NewStore()
+	for _, t := range tables {
+		if err := st.Add(t); err != nil {
+			fatal(err)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := ix.Save(filepath.Join(*out, "index.gob")); err != nil {
+		fatal(err)
+	}
+	if err := st.Save(filepath.Join(*out, "store.gob")); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexed %d tables from %d pages in %.1fs -> %s\n",
+		len(tables), pages, time.Since(start).Seconds(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wwt-index:", err)
+	os.Exit(1)
+}

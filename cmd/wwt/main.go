@@ -1,0 +1,123 @@
+// Command wwt answers a column-keyword query against a persisted index:
+//
+//	wwt -idx ./idx "name of explorers | nationality | areas explored"
+//
+// Column keyword sets are separated by '|'. Flags select the inference
+// algorithm and control output size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wwt"
+	"wwt/internal/index"
+	"wwt/internal/inference"
+)
+
+func main() {
+	idxDir := flag.String("idx", "idx", "index directory (from wwt-index)")
+	alg := flag.String("alg", "table-centric", "inference: none|table-centric|alpha|bp|trws")
+	maxRows := flag.Int("rows", 20, "max answer rows to print")
+	showSources := flag.Bool("sources", false, "print contributing source tables")
+	explain := flag.Bool("explain", false, "print per-table mapping rationale")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, `usage: wwt -idx DIR "col1 keywords | col2 keywords | ..."`)
+		os.Exit(2)
+	}
+	var cols []string
+	for _, c := range strings.Split(flag.Arg(0), "|") {
+		if c = strings.TrimSpace(c); c != "" {
+			cols = append(cols, c)
+		}
+	}
+	if len(cols) == 0 {
+		fmt.Fprintln(os.Stderr, "wwt: empty query")
+		os.Exit(2)
+	}
+
+	ix, err := index.Load(filepath.Join(*idxDir, "index.gob"))
+	if err != nil {
+		fatal(err)
+	}
+	st, err := index.LoadStore(filepath.Join(*idxDir, "store.gob"))
+	if err != nil {
+		fatal(err)
+	}
+	opts := wwt.DefaultOptions()
+	switch strings.ToLower(*alg) {
+	case "none":
+		opts.Algorithm = inference.Independent
+	case "alpha", "alpha-exp":
+		opts.Algorithm = inference.AlphaExpansion
+	case "bp":
+		opts.Algorithm = inference.BP
+	case "trws":
+		opts.Algorithm = inference.TRWS
+	case "table-centric":
+		opts.Algorithm = inference.TableCentric
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+	eng := wwt.NewEngineFrom(ix, st, &opts)
+	res, err := eng.Answer(wwt.Query{Columns: cols})
+	if err != nil {
+		fatal(err)
+	}
+
+	relevant := 0
+	for ti := range res.Tables {
+		if res.Labeling.Relevant(ti) {
+			relevant++
+		}
+	}
+	fmt.Printf("candidates: %d tables (probe2 used: %v), relevant: %d, answer rows: %d\n",
+		len(res.Tables), res.UsedProbe2, relevant, len(res.Answer.Rows))
+	fmt.Printf("timings: probe %.1fms, read %.1fms, column-map %.1fms, consolidate %.1fms\n\n",
+		float64((res.Timings.Probe1+res.Timings.Probe2).Microseconds())/1000,
+		float64((res.Timings.Read1+res.Timings.Read2).Microseconds())/1000,
+		float64(res.Timings.ColumnMap.Microseconds())/1000,
+		float64(res.Timings.Consolidate.Microseconds())/1000)
+
+	printRow(cols, "support")
+	fmt.Println(strings.Repeat("-", 24*len(cols)+8))
+	for i, row := range res.Answer.Rows {
+		if i >= *maxRows {
+			fmt.Printf("... and %d more rows\n", len(res.Answer.Rows)-*maxRows)
+			break
+		}
+		printRow(row.Cells, fmt.Sprintf("%d", row.Support))
+	}
+	if *showSources {
+		fmt.Println("\nsources:")
+		for _, s := range res.Answer.Sources {
+			fmt.Println(" ", s)
+		}
+	}
+	if *explain {
+		fmt.Println("\ncolumn mapping rationale:")
+		for _, e := range res.Model.ExplainAll(res.Labeling) {
+			fmt.Print(e)
+		}
+	}
+}
+
+func printRow(cells []string, last string) {
+	for _, c := range cells {
+		if len(c) > 22 {
+			c = c[:21] + "…"
+		}
+		fmt.Printf("%-24s", c)
+	}
+	fmt.Printf("%8s\n", last)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wwt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Inference compares the paper's five inference algorithms (§4) on one
+// query's graphical model: per-table exact matching (None), the
+// table-centric collective algorithm, constrained α-expansion, loopy
+// belief propagation and TRW-S — reporting agreement, objective scores and
+// wall time, as in the paper's Table 2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wwt"
+	"wwt/internal/core"
+	"wwt/internal/corpusgen"
+	"wwt/internal/extract"
+	"wwt/internal/inference"
+)
+
+func main() {
+	corpus := corpusgen.Generate(corpusgen.Config{Seed: 2012})
+	tables := corpus.ExtractAll(extract.NewOptions())
+	eng, err := wwt.NewEngine(tables, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := wwt.Query{Columns: []string{"country", "currency"}}
+	cands, usedProbe2, err := eng.Candidates(query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder := &core.Builder{Params: eng.Opts.Params, Stats: eng.Index, PMI: eng.PMISource()}
+	m := builder.Build(query.Columns, cands)
+	fmt.Printf("query %q: %d candidates (probe2=%v), %d cross-table edges\n\n",
+		query.Columns, len(cands), usedProbe2, len(m.Edges))
+
+	fmt.Printf("%-15s %10s %12s %10s\n", "algorithm", "relevant", "objective", "time")
+	var reference core.Labeling
+	for _, alg := range inference.Algorithms {
+		start := time.Now()
+		l := inference.Solve(m, alg)
+		elapsed := time.Since(start)
+		relevant := 0
+		for ti := range cands {
+			if l.Relevant(ti) {
+				relevant++
+			}
+		}
+		fmt.Printf("%-15s %10d %12.2f %10s\n", alg.String(), relevant, m.Score(l), elapsed.Round(time.Microsecond))
+		if alg == inference.TableCentric {
+			reference = l
+		}
+	}
+
+	// Show where the collective methods disagree with per-table inference.
+	indep := inference.Solve(m, inference.Independent)
+	diff := 0
+	for ti := range cands {
+		if indep.Relevant(ti) != reference.Relevant(ti) {
+			diff++
+		}
+	}
+	fmt.Printf("\ntable-centric changed the relevance of %d tables vs independent inference\n", diff)
+	fmt.Println("(collective inference recovers headerless tables via content overlap, §3.3)")
+}

@@ -1,0 +1,184 @@
+// Package consolidate implements the final stage of Fig. 2: merging the
+// relevant columns and rows of mapped web tables into a single q-column
+// answer table, resolving duplicate rows across sources (after [9], soft
+// key matching on the first query column), and ranking rows so that highly
+// supported, high-confidence rows surface first.
+package consolidate
+
+import (
+	"sort"
+	"strings"
+
+	"wwt/internal/core"
+	"wwt/internal/text"
+	"wwt/internal/wtable"
+)
+
+// Options tunes consolidation.
+type Options struct {
+	// KeyJaccard is the token-set similarity above which two first-column
+	// cells are considered the same entity.
+	KeyJaccard float64
+	// MaxRows caps the answer size (0 = unlimited).
+	MaxRows int
+}
+
+// NewOptions returns defaults.
+func NewOptions() Options { return Options{KeyJaccard: 0.8, MaxRows: 0} }
+
+// Row is one consolidated answer row.
+type Row struct {
+	Cells   []string // one per query column ("" when unknown)
+	Support int      // number of source tables contributing
+	Sources []string // contributing table IDs
+	Score   float64  // support + relevance mass, drives ranking
+}
+
+// Answer is the consolidated result table.
+type Answer struct {
+	NumCols int
+	Rows    []Row
+	// Sources lists the relevant tables that were merged.
+	Sources []string
+}
+
+// Consolidate merges the rows of all tables marked relevant by the
+// labeling. conf[t][c] supplies per-column confidence (may be nil: uniform
+// 1); relevance[t] supplies table scores (may be nil: uniform 1).
+func Consolidate(q int, tables []*wtable.Table, l core.Labeling, conf [][]float64, relevance []float64, opts Options) *Answer {
+	ans := &Answer{NumCols: q}
+	type keyedRow struct {
+		keyTokens []string
+		row       int // index into ans.Rows
+	}
+	exact := make(map[string]int) // normalized key -> row index
+	var fuzzy []keyedRow
+
+	for ti, tb := range tables {
+		if ti >= len(l.Y) || !l.Relevant(ti) {
+			continue
+		}
+		colFor := make([]int, q)
+		for ell := 0; ell < q; ell++ {
+			colFor[ell] = l.ColumnOf(ti, ell)
+		}
+		if colFor[0] < 0 {
+			continue // no key column mapped; nothing to anchor rows on
+		}
+		ans.Sources = append(ans.Sources, tb.ID)
+		rel := 1.0
+		if relevance != nil && ti < len(relevance) {
+			rel = relevance[ti]
+		}
+		for r := 0; r < tb.NumBodyRows(); r++ {
+			key := strings.TrimSpace(tb.Body(r, colFor[0]))
+			if key == "" {
+				continue
+			}
+			cells := make([]string, q)
+			for ell := 0; ell < q; ell++ {
+				if colFor[ell] >= 0 {
+					cells[ell] = strings.TrimSpace(tb.Body(r, colFor[ell]))
+				}
+			}
+			keyToks := text.Normalize(key)
+			norm := strings.Join(keyToks, " ")
+			if norm == "" {
+				continue
+			}
+			target := -1
+			if idx, ok := exact[norm]; ok {
+				target = idx
+			} else if opts.KeyJaccard < 1 {
+				for _, kr := range fuzzy {
+					if text.JaccardTokens(keyToks, kr.keyTokens) >= opts.KeyJaccard {
+						target = kr.row
+						break
+					}
+				}
+			}
+			if target >= 0 && compatible(ans.Rows[target].Cells, cells) {
+				merge(&ans.Rows[target], cells, tb.ID, rel)
+			} else {
+				ans.Rows = append(ans.Rows, Row{
+					Cells:   cells,
+					Support: 1,
+					Sources: []string{tb.ID},
+					Score:   rel,
+				})
+				idx := len(ans.Rows) - 1
+				exact[norm] = idx
+				fuzzy = append(fuzzy, keyedRow{keyTokens: keyToks, row: idx})
+			}
+		}
+	}
+	rankRows(ans)
+	if opts.MaxRows > 0 && len(ans.Rows) > opts.MaxRows {
+		ans.Rows = ans.Rows[:opts.MaxRows]
+	}
+	return ans
+}
+
+// compatible reports whether two projected rows can describe the same
+// entity: every pair of non-empty cells must agree on at least half of
+// their token sets.
+func compatible(a, b []string) bool {
+	for i := range a {
+		if a[i] == "" || b[i] == "" {
+			continue
+		}
+		ta, tb := text.Normalize(a[i]), text.Normalize(b[i])
+		if len(ta) == 0 || len(tb) == 0 {
+			continue
+		}
+		if text.JaccardTokens(ta, tb) < 0.5 {
+			return false
+		}
+	}
+	return true
+}
+
+// merge folds cells into row: fills blanks, bumps support once per new
+// source table.
+func merge(row *Row, cells []string, source string, rel float64) {
+	for i, c := range cells {
+		if row.Cells[i] == "" {
+			row.Cells[i] = c
+		}
+	}
+	for _, s := range row.Sources {
+		if s == source {
+			return
+		}
+	}
+	row.Sources = append(row.Sources, source)
+	row.Support++
+	row.Score += rel
+}
+
+// rankRows implements the ranker: higher support first, then score, then
+// fuller rows, then stable lexicographic key order for determinism.
+func rankRows(ans *Answer) {
+	filled := func(r Row) int {
+		n := 0
+		for _, c := range r.Cells {
+			if c != "" {
+				n++
+			}
+		}
+		return n
+	}
+	sort.SliceStable(ans.Rows, func(i, j int) bool {
+		a, b := ans.Rows[i], ans.Rows[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if fa, fb := filled(a), filled(b); fa != fb {
+			return fa > fb
+		}
+		return a.Cells[0] < b.Cells[0]
+	})
+}

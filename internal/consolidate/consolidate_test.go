@@ -1,0 +1,164 @@
+package consolidate
+
+import (
+	"testing"
+
+	"wwt/internal/core"
+	"wwt/internal/wtable"
+)
+
+func row(texts ...string) wtable.Row {
+	cells := make([]wtable.Cell, len(texts))
+	for i, t := range texts {
+		cells[i] = wtable.Cell{Text: t}
+	}
+	return wtable.Row{Cells: cells}
+}
+
+func table(id string, body [][]string) *wtable.Table {
+	t := &wtable.Table{ID: id}
+	for _, br := range body {
+		t.BodyRows = append(t.BodyRows, row(br...))
+	}
+	return t
+}
+
+func TestConsolidateMergesDuplicates(t *testing.T) {
+	a := table("a", [][]string{
+		{"Vasco da Gama", "Portuguese", "Sea route to India"},
+		{"Abel Tasman", "Dutch", "Oceania"},
+	})
+	// b maps columns in a different order: col0=area, col1=name.
+	b := table("b", [][]string{
+		{"Sea route to India", "Vasco da Gama"},
+		{"Caribbean", "Christopher Columbus"},
+	})
+	q := 3
+	l := core.Labeling{Q: q, Y: [][]int{
+		{0, 1, 2}, // a: name, nationality, area
+		{2, 0},    // b: area, name
+	}}
+	ans := Consolidate(q, []*wtable.Table{a, b}, l, nil, nil, NewOptions())
+	if len(ans.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (Vasco merged)", len(ans.Rows))
+	}
+	// Vasco row must be merged: support 2, nationality filled from a.
+	var vasco *Row
+	for i := range ans.Rows {
+		if ans.Rows[i].Cells[0] == "Vasco da Gama" {
+			vasco = &ans.Rows[i]
+		}
+	}
+	if vasco == nil {
+		t.Fatal("Vasco row missing")
+	}
+	if vasco.Support != 2 {
+		t.Errorf("Vasco support = %d, want 2", vasco.Support)
+	}
+	if vasco.Cells[1] != "Portuguese" {
+		t.Errorf("nationality lost in merge: %v", vasco.Cells)
+	}
+	// Merged row ranks first.
+	if ans.Rows[0].Cells[0] != "Vasco da Gama" {
+		t.Errorf("highest-support row should rank first, got %v", ans.Rows[0].Cells)
+	}
+}
+
+func TestConsolidateSkipsIrrelevantTables(t *testing.T) {
+	a := table("a", [][]string{{"France", "Euro"}})
+	junk := table("junk", [][]string{{"7", "2236"}})
+	q := 2
+	l := core.Labeling{Q: q, Y: [][]int{
+		{0, 1},
+		{core.NR(q), core.NR(q)},
+	}}
+	ans := Consolidate(q, []*wtable.Table{a, junk}, l, nil, nil, NewOptions())
+	if len(ans.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(ans.Rows))
+	}
+	if len(ans.Sources) != 1 || ans.Sources[0] != "a" {
+		t.Errorf("sources = %v", ans.Sources)
+	}
+}
+
+func TestConsolidateConflictingRowsKeptSeparate(t *testing.T) {
+	a := table("a", [][]string{{"France", "Euro"}})
+	b := table("b", [][]string{{"France", "Franc"}}) // conflicting value
+	q := 2
+	l := core.Labeling{Q: q, Y: [][]int{{0, 1}, {0, 1}}}
+	ans := Consolidate(q, []*wtable.Table{a, b}, l, nil, nil, NewOptions())
+	if len(ans.Rows) != 2 {
+		t.Fatalf("conflicting rows merged: %v", ans.Rows)
+	}
+}
+
+func TestConsolidateMissingKeyColumn(t *testing.T) {
+	// Table maps Q2 but not Q1: cannot anchor rows, skipped.
+	a := table("a", [][]string{{"Euro", "x"}})
+	q := 2
+	l := core.Labeling{Q: q, Y: [][]int{{1, core.NA(q)}}}
+	ans := Consolidate(q, []*wtable.Table{a}, l, nil, nil, NewOptions())
+	if len(ans.Rows) != 0 {
+		t.Errorf("rows without key column should be dropped: %v", ans.Rows)
+	}
+}
+
+func TestConsolidateEmptyKeyRowsDropped(t *testing.T) {
+	a := table("a", [][]string{{"", "Euro"}, {"Japan", "Yen"}})
+	q := 2
+	l := core.Labeling{Q: q, Y: [][]int{{0, 1}}}
+	ans := Consolidate(q, []*wtable.Table{a}, l, nil, nil, NewOptions())
+	if len(ans.Rows) != 1 || ans.Rows[0].Cells[0] != "Japan" {
+		t.Errorf("rows = %v", ans.Rows)
+	}
+}
+
+func TestConsolidateFuzzyKeyMatch(t *testing.T) {
+	a := table("a", [][]string{{"United States of America", "Washington"}})
+	b := table("b", [][]string{{"The United States of America", "Washington"}})
+	q := 2
+	l := core.Labeling{Q: q, Y: [][]int{{0, 1}, {0, 1}}}
+	opts := NewOptions()
+	opts.KeyJaccard = 0.7
+	ans := Consolidate(q, []*wtable.Table{a, b}, l, nil, nil, opts)
+	if len(ans.Rows) != 1 {
+		t.Errorf("fuzzy keys not merged: %d rows", len(ans.Rows))
+	}
+}
+
+func TestConsolidateMaxRows(t *testing.T) {
+	a := table("a", [][]string{{"a", "1"}, {"b", "2"}, {"c", "3"}})
+	q := 2
+	l := core.Labeling{Q: q, Y: [][]int{{0, 1}}}
+	opts := NewOptions()
+	opts.MaxRows = 2
+	ans := Consolidate(q, []*wtable.Table{a}, l, nil, nil, opts)
+	if len(ans.Rows) != 2 {
+		t.Errorf("MaxRows not applied: %d", len(ans.Rows))
+	}
+}
+
+func TestConsolidateSupportCountsTablesNotRows(t *testing.T) {
+	// The same table repeating a row must not inflate support.
+	a := table("a", [][]string{{"France", "Euro"}, {"France", "Euro"}})
+	q := 2
+	l := core.Labeling{Q: q, Y: [][]int{{0, 1}}}
+	ans := Consolidate(q, []*wtable.Table{a}, l, nil, nil, NewOptions())
+	if len(ans.Rows) != 1 {
+		t.Fatalf("rows = %d", len(ans.Rows))
+	}
+	if ans.Rows[0].Support != 1 {
+		t.Errorf("support = %d, want 1 (same source)", ans.Rows[0].Support)
+	}
+}
+
+func TestRankingPrefersRelevanceOnTie(t *testing.T) {
+	a := table("a", [][]string{{"x", "1"}})
+	b := table("b", [][]string{{"y", "2"}})
+	q := 2
+	l := core.Labeling{Q: q, Y: [][]int{{0, 1}, {0, 1}}}
+	ans := Consolidate(q, []*wtable.Table{a, b}, l, nil, []float64{0.2, 0.9}, NewOptions())
+	if len(ans.Rows) != 2 || ans.Rows[0].Cells[0] != "y" {
+		t.Errorf("higher-relevance source should rank first: %v", ans.Rows)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explanation is a human-readable account of why the column mapper
+// labeled one table the way it did: per-column features, potentials and
+// the edges that influenced it. It is a diagnostic surface for the
+// `wwt -explain` CLI flag and for debugging corpora.
+type Explanation struct {
+	TableID  string
+	Relevant bool
+	R        float64 // Eq. 2 relevance feature
+	Columns  []ColumnExplanation
+}
+
+// ColumnExplanation explains one column's label.
+type ColumnExplanation struct {
+	Column    int
+	Header    string
+	Label     string
+	SegSim    float64 // feature values for the assigned label (if real)
+	Cover     float64
+	Potential float64
+	Conf      float64 // stage-1 confidence max_{ℓ∈1..q} p(ℓ)
+	Neighbors int     // gated edges touching this column
+}
+
+// Explain renders the mapper's decision for table ti under labeling l.
+func (m *Model) Explain(ti int, l Labeling) Explanation {
+	v := m.Views[ti]
+	q := m.NumQ
+	exp := Explanation{
+		TableID:  v.Table.ID,
+		Relevant: l.Relevant(ti),
+		R:        m.Rel[ti],
+	}
+	degree := make(map[int]int)
+	for _, e := range m.Edges {
+		if e.T1 == ti {
+			degree[e.C1]++
+		}
+		if e.T2 == ti {
+			degree[e.C2]++
+		}
+	}
+	for c := 0; c < v.NumCols; c++ {
+		label := l.Y[ti][c]
+		ce := ColumnExplanation{
+			Column:    c,
+			Header:    strings.Join(v.Table.HeaderText(c), " / "),
+			Label:     LabelString(label, q),
+			Potential: m.Node[ti][c][label],
+			Conf:      m.Conf[ti][c],
+			Neighbors: degree[c],
+		}
+		if label >= 0 && label < q {
+			ce.SegSim = m.Feats[ti][c][label].SegSim
+			ce.Cover = m.Feats[ti][c][label].Cover
+		}
+		exp.Columns = append(exp.Columns, ce)
+	}
+	return exp
+}
+
+// String renders the explanation as indented text.
+func (e Explanation) String() string {
+	var b strings.Builder
+	status := "irrelevant"
+	if e.Relevant {
+		status = "relevant"
+	}
+	fmt.Fprintf(&b, "%s: %s (R=%.2f)\n", e.TableID, status, e.R)
+	for _, c := range e.Columns {
+		hdr := c.Header
+		if hdr == "" {
+			hdr = "(no header)"
+		}
+		fmt.Fprintf(&b, "  col %d %-30q -> %-4s θ=%+.2f conf=%.2f seg=%.2f cover=%.2f edges=%d\n",
+			c.Column+1, hdr, c.Label, c.Potential, c.Conf, c.SegSim, c.Cover, c.Neighbors)
+	}
+	return b.String()
+}
+
+// ExplainAll explains every table, relevant tables first (by R), for
+// compact CLI output.
+func (m *Model) ExplainAll(l Labeling) []Explanation {
+	out := make([]Explanation, len(m.Views))
+	for ti := range m.Views {
+		out[ti] = m.Explain(ti, l)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Relevant != out[j].Relevant {
+			return out[i].Relevant
+		}
+		return out[i].R > out[j].R
+	})
+	return out
+}

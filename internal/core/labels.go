@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// Labels. A column variable takes one of q+2 labels (§3.1): indices
+// 0..q-1 map the column to the corresponding query column; NA marks a
+// column of a relevant table that matches no query column; NR marks a
+// column of an irrelevant table.
+//
+// Label values are relative to q, so the helpers below take q explicitly.
+
+// NA returns the "no match" label index for a q-column query.
+func NA(q int) int { return q }
+
+// NR returns the "irrelevant table" label index for a q-column query.
+func NR(q int) int { return q + 1 }
+
+// NumLabels returns the label-space size q+2.
+func NumLabels(q int) int { return q + 2 }
+
+// LabelString renders a label for diagnostics.
+func LabelString(label, q int) string {
+	switch {
+	case label >= 0 && label < q:
+		return fmt.Sprintf("Q%d", label+1)
+	case label == NA(q):
+		return "na"
+	case label == NR(q):
+		return "nr"
+	}
+	return fmt.Sprintf("label(%d)", label)
+}
+
+// Labeling assigns a label to every column of every candidate table:
+// Y[t][c] is the label of column c of table t.
+type Labeling struct {
+	Q int     // number of query columns
+	Y [][]int // per table, per column
+}
+
+// NewLabeling allocates a labeling for the given per-table column counts,
+// initialized to all-NR.
+func NewLabeling(q int, cols []int) Labeling {
+	y := make([][]int, len(cols))
+	for i, n := range cols {
+		row := make([]int, n)
+		for j := range row {
+			row[j] = NR(q)
+		}
+		y[i] = row
+	}
+	return Labeling{Q: q, Y: y}
+}
+
+// Clone deep-copies the labeling.
+func (l Labeling) Clone() Labeling {
+	y := make([][]int, len(l.Y))
+	for i, row := range l.Y {
+		y[i] = append([]int(nil), row...)
+	}
+	return Labeling{Q: l.Q, Y: y}
+}
+
+// Relevant reports whether table t is labeled relevant (no column carries
+// NR; by the all-Irr constraint a single NR implies all NR).
+func (l Labeling) Relevant(t int) bool {
+	for _, y := range l.Y[t] {
+		if y == NR(l.Q) {
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnOf returns the column of table t labeled with query column ell,
+// or -1.
+func (l Labeling) ColumnOf(t, ell int) int {
+	for c, y := range l.Y[t] {
+		if y == ell {
+			return c
+		}
+	}
+	return -1
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"math"
+
+	"wwt/internal/graph"
+	"wwt/internal/wtable"
+)
+
+// Edge is one cross-table edge of the graphical model (§3.3). Its
+// potential is (WAB + WBA) · [[ℓ_A = ℓ_B ∧ ℓ_A ≠ nr]] (Eq. 4), where the
+// two directed terms are already weighted by we, the normalized similarity
+// and the neighbor-confidence gates.
+type Edge struct {
+	T1, C1 int     // endpoint A: table index, column
+	T2, C2 int     // endpoint B
+	WAB    float64 // we · nsim(A,B) · [[conf(B) > τ]]
+	WBA    float64 // we · nsim(B,A) · [[conf(A) > τ]]
+	// IncludeNR marks plain-Potts ablation edges that also reward a
+	// shared nr label (the failure mode §3.3 describes).
+	IncludeNR bool
+}
+
+// Coef returns the symmetric potential coefficient of the edge.
+func (e Edge) Coef() float64 { return e.WAB + e.WBA }
+
+// Model is the assembled graphical model for one query against one
+// candidate table set.
+type Model struct {
+	Params Params
+	Q      []QueryColumn
+	NumQ   int
+	Views  []*TableView
+
+	// Node[t][c][label]: θ(tc, ℓ) for labels 0..q-1, na, nr.
+	Node [][][]float64
+	// Feats[t][c][ell]: raw features behind the potentials.
+	Feats [][][]Features
+	// Rel[t]: R(Q,t) of Eq. 2.
+	Rel []float64
+
+	Edges []Edge
+	// rawEdges caches the weight-independent edge candidates (matched
+	// column pairs with normalized similarities) so Reweight can rebuild
+	// Edges without redoing the pairwise similarity work.
+	rawEdges []rawEdge
+	// Dist[t][c][label]: stage-1 per-column label distribution ptc(ℓ)
+	// from table-local max-marginals (§4.2). Conf[t][c] is
+	// max_{ℓ ∈ 1..q} ptc(ℓ) — §3.3: "A column is confident only if
+	// Pr(ℓ|tc) is large for some ℓ ∈ [1..q]" (na does not count).
+	Dist [][][]float64
+	Conf [][]float64
+}
+
+// rawEdge is a matched cross-table column pair before gating/weighting.
+type rawEdge struct {
+	t1, c1, t2, c2 int
+	nsimAB, nsimBA float64
+	sim            float64 // raw (unnormalized) similarity, for ablations
+	matched        bool    // survived the one-one max-matching
+}
+
+// Builder constructs Models. Stats is required; PMI may be nil when
+// Params.UsePMI is false.
+type Builder struct {
+	Params Params
+	Stats  CorpusStats
+	PMI    PMISource
+}
+
+// Build assembles the full graphical model: analyzed query, table views,
+// node potentials, stage-1 confidences, and gated cross-table edges.
+func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
+	p := b.Params
+	m := &Model{
+		Params: p,
+		Q:      AnalyzeQuery(queryCols, b.Stats),
+		NumQ:   len(queryCols),
+	}
+	m.Views = make([]*TableView, len(tables))
+	for i, t := range tables {
+		m.Views[i] = NewTableView(t, p, b.Stats)
+	}
+
+	// Precompute H(Qℓ) doc sets once per query column for PMI².
+	var hDocs [][]int32
+	if p.UsePMI && b.PMI != nil {
+		hDocs = make([][]int32, m.NumQ)
+		for ell, qc := range m.Q {
+			hDocs[ell] = b.PMI.HeaderContextDocs(qc.Tokens)
+		}
+	}
+
+	q := m.NumQ
+	m.Feats = make([][][]Features, len(tables))
+	m.Rel = make([]float64, len(tables))
+	for ti, v := range m.Views {
+		nt := v.NumCols
+		feats := make([][]Features, nt)
+		cover := make([][]float64, nt)
+		for c := 0; c < nt; c++ {
+			feats[c] = make([]Features, q)
+			cover[c] = make([]float64, q)
+			for ell := 0; ell < q; ell++ {
+				seg, cov := segScores(&m.Q[ell], v, c, p)
+				f := Features{SegSim: seg, Cover: cov}
+				if p.UsePMI && b.PMI != nil {
+					f.PMI2 = pmi2(hDocs[ell], v, c, b.PMI, p)
+				}
+				feats[c][ell] = f
+				cover[c][ell] = cov
+			}
+		}
+		m.Rel[ti] = tableRelevance(cover, q)
+		m.Feats[ti] = feats
+	}
+	m.computeNodes()
+	m.computeStage1()
+	m.buildRawEdges()
+	m.finalizeEdges()
+	return m
+}
+
+// computeNodes assembles node potentials from the cached features under
+// the current Params.
+func (m *Model) computeNodes() {
+	q := m.NumQ
+	m.Node = make([][][]float64, len(m.Views))
+	for ti, v := range m.Views {
+		nt := v.NumCols
+		node := make([][]float64, nt)
+		for c := 0; c < nt; c++ {
+			node[c] = make([]float64, NumLabels(q))
+			for label := 0; label < NumLabels(q); label++ {
+				var f Features
+				if label < q {
+					f = m.Feats[ti][c][label]
+				}
+				node[c][label] = nodePotential(f, m.Rel[ti], q, nt, label, m.Params)
+			}
+		}
+		m.Node[ti] = node
+	}
+}
+
+// Reweight returns a model identical to m except for the trainable
+// weights in p: node potentials, stage-1 confidences and gated edges are
+// recomputed from the cached features and raw edge candidates. Feature
+// extraction (SegSim/Cover/PMI²/similarities) is NOT redone, so Reweight
+// is cheap enough for the exhaustive weight enumeration of §3.4.
+// p must not change feature-affecting fields (Unsegmented, UsePMI,
+// reliabilities); those require a full rebuild.
+func (m *Model) Reweight(p Params) *Model {
+	clone := *m
+	clone.Params = p
+	clone.computeNodes()
+	clone.computeStage1()
+	clone.finalizeEdges()
+	return &clone
+}
+
+// Cols returns the per-table column counts.
+func (m *Model) Cols() []int {
+	out := make([]int, len(m.Views))
+	for i, v := range m.Views {
+		out[i] = v.NumCols
+	}
+	return out
+}
+
+// TableMaxMarginals computes µ_tc(ℓ) for one table under the mutex and
+// all-Irr constraints only (§4.2.3): the must-match and min-match
+// constraints are deliberately excluded so relative magnitudes stay
+// undistorted. Returns [col][label] with labels 0..q-1, na, nr.
+func (m *Model) TableMaxMarginals(ti int) [][]float64 {
+	q := m.NumQ
+	nt := m.Views[ti].NumCols
+	node := m.Node[ti]
+
+	capL := make([]int, nt)
+	for i := range capL {
+		capL[i] = 1
+	}
+	// Rights: q query labels (capacity 1) plus na with capacity nt.
+	capR := make([]int, q+1)
+	for j := 0; j < q; j++ {
+		capR[j] = 1
+	}
+	capR[q] = nt
+	w := make([][]float64, nt)
+	for c := 0; c < nt; c++ {
+		w[c] = make([]float64, q+1)
+		for j := 0; j < q; j++ {
+			w[c][j] = node[c][j]
+		}
+		w[c][q] = node[c][NA(q)]
+	}
+	sol := graph.SolveAssignment(capL, capR, w)
+	mm := sol.MaxMarginals()
+
+	var nrScore float64
+	for c := 0; c < nt; c++ {
+		nrScore += node[c][NR(q)]
+	}
+	out := make([][]float64, nt)
+	for c := 0; c < nt; c++ {
+		out[c] = make([]float64, NumLabels(q))
+		for j := 0; j <= q; j++ { // q is the na right node
+			label := j
+			if j == q {
+				label = NA(q)
+			}
+			out[c][label] = mm[c][j]
+		}
+		out[c][NR(q)] = nrScore
+	}
+	return out
+}
+
+// computeStage1 fills Dist and Conf from per-table max-marginals.
+func (m *Model) computeStage1() {
+	q := m.NumQ
+	m.Dist = make([][][]float64, len(m.Views))
+	m.Conf = make([][]float64, len(m.Views))
+	for ti := range m.Views {
+		mu := m.TableMaxMarginals(ti)
+		nt := m.Views[ti].NumCols
+		dist := make([][]float64, nt)
+		conf := make([]float64, nt)
+		for c := 0; c < nt; c++ {
+			dist[c] = softmax(mu[c])
+			best := 0.0
+			for label := 0; label < q; label++ {
+				if dist[c][label] > best {
+					best = dist[c][label]
+				}
+			}
+			conf[c] = best
+		}
+		m.Dist[ti] = dist
+		m.Conf[ti] = conf
+	}
+}
+
+// columnRef addresses one column of one table.
+type columnRef struct{ t, c int }
+
+// buildRawEdges realizes the weight-independent part of §3.3: content
+// similarity between cross-table column pairs, normalization against each
+// column's neighborhood, and the one-one max-matching per table pair.
+func (m *Model) buildRawEdges() {
+	p := m.Params
+	n := len(m.Views)
+	if n < 2 {
+		return
+	}
+	type pairSim struct {
+		a, b columnRef
+		sim  float64
+	}
+	var sims []pairSim
+	denom := make(map[columnRef]float64)
+	for t1 := 0; t1 < n; t1++ {
+		for t2 := t1 + 1; t2 < n; t2++ {
+			for c1 := 0; c1 < m.Views[t1].NumCols; c1++ {
+				for c2 := 0; c2 < m.Views[t2].NumCols; c2++ {
+					s := ContentSim(m.Views[t1], m.Views[t2], c1, c2)
+					if s < p.MinNeighborSim {
+						continue
+					}
+					a := columnRef{t1, c1}
+					b := columnRef{t2, c2}
+					sims = append(sims, pairSim{a, b, s})
+					denom[a] += s
+					denom[b] += s
+				}
+			}
+		}
+	}
+	if len(sims) == 0 {
+		return
+	}
+	// Every similar pair becomes a raw edge (the naive Potts ablations use
+	// them all); the one-one max-matching below marks the survivors the
+	// custom potential keeps.
+	edgeIdx := make(map[[2]columnRef]int, len(sims))
+	tablePairs := make(map[[2]int][]pairSim)
+	for _, ps := range sims {
+		edgeIdx[[2]columnRef{ps.a, ps.b}] = len(m.rawEdges)
+		m.rawEdges = append(m.rawEdges, rawEdge{
+			t1: ps.a.t, c1: ps.a.c, t2: ps.b.t, c2: ps.b.c,
+			nsimAB: ps.sim / (p.Lambda + denom[ps.a]),
+			nsimBA: ps.sim / (p.Lambda + denom[ps.b]),
+			sim:    ps.sim,
+		})
+		key := [2]int{ps.a.t, ps.b.t}
+		tablePairs[key] = append(tablePairs[key], ps)
+	}
+	// One-one matching per table pair over blended content+header
+	// similarity.
+	for key, pairs := range tablePairs {
+		t1, t2 := key[0], key[1]
+		n1, n2 := m.Views[t1].NumCols, m.Views[t2].NumCols
+		w := make([][]float64, n1)
+		for i := range w {
+			w[i] = make([]float64, n2)
+		}
+		for _, ps := range pairs {
+			blend := p.MatchContentWeight*ps.sim +
+				p.MatchHeaderWeight*HeaderSim(m.Views[t1], m.Views[t2], ps.a.c, ps.b.c)
+			w[ps.a.c][ps.b.c] = blend
+		}
+		// Assignment balances unequal sides with a dummy node internally.
+		sol := graph.SolveAssignment(ones(n1), ones(n2), w)
+		for c1, c2 := range sol.MatchL {
+			if c2 < 0 {
+				continue
+			}
+			if idx, ok := edgeIdx[[2]columnRef{{t1, c1}, {t2, c2}}]; ok {
+				m.rawEdges[idx].matched = true
+			}
+		}
+	}
+}
+
+// finalizeEdges applies the weight- and confidence-dependent part of
+// Eq. 4 to the raw edge candidates, honoring the ablation variant.
+func (m *Model) finalizeEdges() {
+	p := m.Params
+	m.Edges = nil
+	for _, re := range m.rawEdges {
+		switch p.Edges {
+		case EdgePotts, EdgePottsNoNR:
+			// Naive variants: every similar pair, raw similarity, no
+			// confidence gates. Split the coefficient evenly so the
+			// table-centric messages stay defined.
+			w := p.We * re.sim / 2
+			m.Edges = append(m.Edges, Edge{
+				T1: re.t1, C1: re.c1, T2: re.t2, C2: re.c2,
+				WAB: w, WBA: w,
+				IncludeNR: p.Edges == EdgePotts,
+			})
+		default:
+			if !re.matched {
+				continue
+			}
+			var wab, wba float64
+			if m.Conf[re.t2][re.c2] > p.ConfidenceThreshold {
+				wab = p.We * re.nsimAB
+			}
+			if m.Conf[re.t1][re.c1] > p.ConfidenceThreshold {
+				wba = p.We * re.nsimBA
+			}
+			if wab == 0 && wba == 0 {
+				continue
+			}
+			m.Edges = append(m.Edges, Edge{T1: re.t1, C1: re.c1, T2: re.t2, C2: re.c2, WAB: wab, WBA: wba})
+		}
+	}
+}
+
+// EdgePotential evaluates Eq. 4 for an edge under labels la, lb.
+func (m *Model) EdgePotential(e Edge, la, lb int) float64 {
+	if la != lb {
+		return 0
+	}
+	if la == NR(m.NumQ) && !e.IncludeNR {
+		return 0
+	}
+	return e.Coef()
+}
+
+// Score evaluates the overall objective (Eq. 9) of a labeling: node
+// potentials plus edge potentials, with -Inf for any violated hard
+// constraint (Eq. 5–8).
+func (m *Model) Score(l Labeling) float64 {
+	q := m.NumQ
+	var total float64
+	for ti, v := range m.Views {
+		labels := l.Y[ti]
+		if len(labels) != v.NumCols {
+			return math.Inf(-1)
+		}
+		nrCount := 0
+		realCount := 0
+		seen := make(map[int]bool)
+		hasFirst := false
+		for c, y := range labels {
+			total += m.Node[ti][c][y]
+			switch {
+			case y == NR(q):
+				nrCount++
+			case y >= 0 && y < q:
+				if seen[y] {
+					return math.Inf(-1) // mutex
+				}
+				seen[y] = true
+				realCount++
+				if y == 0 {
+					hasFirst = true
+				}
+			}
+		}
+		if nrCount != 0 && nrCount != len(labels) {
+			return math.Inf(-1) // all-Irr
+		}
+		if nrCount == 0 {
+			if !hasFirst {
+				return math.Inf(-1) // must-match
+			}
+			if realCount < m.Params.MinMatch(q) {
+				return math.Inf(-1) // min-match
+			}
+		}
+	}
+	for _, e := range m.Edges {
+		total += m.EdgePotential(e, l.Y[e.T1][e.C1], l.Y[e.T2][e.C2])
+	}
+	return total
+}
+
+func softmax(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	best := math.Inf(-1)
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	if math.IsInf(best, -1) {
+		for i := range out {
+			out[i] = 1 / float64(len(xs))
+		}
+		return out
+	}
+	var sum float64
+	for i, x := range xs {
+		if math.IsInf(x, -1) {
+			out[i] = 0
+			continue
+		}
+		out[i] = math.Exp(x - best)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func ones(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package core
+
+import "math"
+
+// This file implements the paper's central similarity machinery (§3.2.1,
+// §3.2.2): the two-part segmented similarity SegSim of Eq. 1 and the
+// coverage feature Cover. A query column Qℓ is split into a prefix P and a
+// suffix S; one part is pinned to a specific header row of the column
+// (inSim), the other gathers support from the rest of the table (outSim)
+// across five parts — title T, context C, other header rows of the column
+// Hc, other columns' headers in the same row Hr, and frequent body content
+// B — each with its own reliability p_i. A token matching several parts
+// scores the soft-max 1 - Π(1 - p_i).
+
+// segScores returns SegSim and Cover for query column qc against column c
+// of view v. Both maximize over header rows and over all prefix/suffix
+// segmentations with either part pinned to the header (the pinned part
+// must share a token with the header row). Headerless tables score zero —
+// table-level matches must not count for unspecific columns.
+func segScores(qc *QueryColumn, v *TableView, c int, p Params) (segSim, cover float64) {
+	m := len(qc.Tokens)
+	if m == 0 || qc.NormSq == 0 || v.HeaderRowCount() == 0 || c >= v.NumCols {
+		return 0, 0
+	}
+	if p.Unsegmented {
+		return unsegScores(qc, v, c)
+	}
+	for r := 0; r < v.HeaderRowCount(); r++ {
+		// prefix sums of TI² let every split be O(1) plus the part scans.
+		for k := 0; k <= m; k++ {
+			// Orientation A: P = tokens[0:k] pinned to header, S = rest out.
+			if k > 0 && intersectsHeader(qc.Tokens[:k], v, r, c) {
+				in := inSimCosine(qc, 0, k, v, r, c)
+				inCov := inSimCover(qc, 0, k, v, r, c)
+				out := outSim(qc, k, m, v, r, c, p)
+				wIn := mass(qc, 0, k) / qc.NormSq
+				wOut := mass(qc, k, m) / qc.NormSq
+				if s := wIn*in + wOut*out; s > segSim {
+					segSim = s
+				}
+				if s := wIn*inCov + wOut*out; s > cover {
+					cover = s
+				}
+			}
+			// Orientation B: S = tokens[k:m] pinned to header, P = rest out.
+			if k < m && intersectsHeader(qc.Tokens[k:], v, r, c) {
+				in := inSimCosine(qc, k, m, v, r, c)
+				inCov := inSimCover(qc, k, m, v, r, c)
+				out := outSim(qc, 0, k, v, r, c, p)
+				wIn := mass(qc, k, m) / qc.NormSq
+				wOut := mass(qc, 0, k) / qc.NormSq
+				if s := wIn*in + wOut*out; s > segSim {
+					segSim = s
+				}
+				if s := wIn*inCov + wOut*out; s > cover {
+					cover = s
+				}
+			}
+		}
+	}
+	return segSim, cover
+}
+
+// unsegScores is the §5.2 unsegmented comparison model: the whole query is
+// matched against the column's concatenated header rows with a plain
+// TF-IDF cosine (and coverage fraction); no segmentation, no outSim.
+func unsegScores(qc *QueryColumn, v *TableView, c int) (float64, float64) {
+	vec := make(map[string]float64)
+	for r := 0; r < v.HeaderRowCount(); r++ {
+		for w, x := range v.headerVec[r][c] {
+			vec[w] += x
+		}
+	}
+	if len(vec) == 0 {
+		return 0, 0
+	}
+	var hn2, dot, covered float64
+	for _, x := range vec {
+		hn2 += x * x
+	}
+	qvec := make(map[string]float64, len(qc.Tokens))
+	for i, w := range qc.Tokens {
+		qvec[w] += mathSqrt(qc.TI2[i])
+	}
+	var qn2 float64
+	for w, x := range qvec {
+		qn2 += x * x
+		if y, ok := vec[w]; ok {
+			dot += x * y
+		}
+	}
+	for i, w := range qc.Tokens {
+		if _, ok := vec[w]; ok {
+			covered += qc.TI2[i]
+		}
+	}
+	if qn2 == 0 || hn2 == 0 || qc.NormSq == 0 {
+		return 0, 0
+	}
+	return dot / (mathSqrt(qn2) * mathSqrt(hn2)), covered / qc.NormSq
+}
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// mass returns ‖tokens[a:b]‖² = Σ TI(w)².
+func mass(qc *QueryColumn, a, b int) float64 {
+	var s float64
+	for i := a; i < b; i++ {
+		s += qc.TI2[i]
+	}
+	return s
+}
+
+func intersectsHeader(tokens []string, v *TableView, r, c int) bool {
+	for _, w := range tokens {
+		if v.headerHas(r, c, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// inSimCosine is the TF-IDF cosine between the pinned query part
+// tokens[a:b] and header row r of column c, using the header vectors
+// precomputed in the view.
+func inSimCosine(qc *QueryColumn, a, b int, v *TableView, r, c int) float64 {
+	hvec := v.headerVec[r][c]
+	hnorm := v.headerNorm[r][c]
+	if len(hvec) == 0 || hnorm == 0 || a >= b {
+		return 0
+	}
+	// Query-part vector: TI(w) per occurrence.
+	qvec := make(map[string]float64, b-a)
+	for i := a; i < b; i++ {
+		qvec[qc.Tokens[i]] += math.Sqrt(qc.TI2[i])
+	}
+	var dot, qn2 float64
+	for w, x := range qvec {
+		qn2 += x * x
+		if y, ok := hvec[w]; ok {
+			dot += x * y
+		}
+	}
+	if qn2 == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(qn2) * hnorm)
+}
+
+// inSimCover is the Cover variant of inSim (§3.2.2): the TI²-weighted
+// fraction of the pinned part's tokens that appear in the header row.
+func inSimCover(qc *QueryColumn, a, b int, v *TableView, r, c int) float64 {
+	total := mass(qc, a, b)
+	if total == 0 {
+		return 0
+	}
+	var hit float64
+	for i := a; i < b; i++ {
+		if v.headerHas(r, c, qc.Tokens[i]) {
+			hit += qc.TI2[i]
+		}
+	}
+	return hit / total
+}
+
+// outSim scores the unpinned query part tokens[a:b] against the five
+// outside parts with soft-maxed reliabilities (§3.2.1).
+func outSim(qc *QueryColumn, a, b int, v *TableView, r, c int, p Params) float64 {
+	norm := mass(qc, a, b)
+	if norm == 0 {
+		return 0
+	}
+	var sum float64
+	for i := a; i < b; i++ {
+		w := qc.Tokens[i]
+		miss := 1.0
+		if v.TitleSet[w] {
+			miss *= 1 - p.RelTitle
+		}
+		if cs := v.ContextScore[w]; cs > 0 {
+			// Snippet scores modulate the context reliability (§2.1.2).
+			miss *= 1 - p.RelContext*cs
+		}
+		if v.otherHeaderRowsHave(r, c, w) {
+			miss *= 1 - p.RelOtherHeaderRow
+		}
+		if v.otherHeaderColsHave(r, c, w) {
+			miss *= 1 - p.RelOtherHeaderCol
+		}
+		if v.FreqBody[w] {
+			miss *= 1 - p.RelBody
+		}
+		sum += qc.TI2[i] / norm * (1 - miss)
+	}
+	return sum
+}

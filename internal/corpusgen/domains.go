@@ -1,0 +1,377 @@
+package corpusgen
+
+import "math/rand"
+
+// Shared attribute vocabulary. Attributes reused across domains (country,
+// year, ...) carry the same Key, which is what makes cross-domain tables
+// genuine confusables: a country|gdp table contains the "country" column
+// of a country|currency query but not its second column.
+func attr(key string, headers []string, uninformative ...string) Attr {
+	return Attr{Key: key, Headers: headers, Uninformative: uninformative}
+}
+
+var (
+	attrCountry    = attr("country", []string{"Country", "Nation", "Country name"}, "Name")
+	attrCurrency   = attr("currency", []string{"Currency", "Currency name", "Monetary unit"}, "Unit")
+	attrPopulation = attr("population", []string{"Population", "Population estimate", "Inhabitants"}, "Total")
+	attrGDP        = attr("gdp", []string{"GDP", "Gross domestic product", "GDP nominal"}, "Value")
+	attrUSDRate    = attr("usd-rate", []string{"US dollar exchange rate", "Exchange rate", "Rate per US dollar"}, "Rate")
+	attrFuel       = attr("fuel", []string{"Daily fuel consumption", "Fuel consumption", "Oil consumption"}, "Consumption")
+	attrTLD        = attr("tld", []string{"Internet domain", "Country code domain", "TLD"}, "Code")
+	attrYear       = attr("year", []string{"Year", "Year won", "Season"}, "No.")
+	attrHeight     = attr("height", []string{"Height", "Height m", "Elevation"}, "Value")
+	attrCompany    = attr("company", []string{"Company", "Manufacturer", "Maker"}, "Name")
+	attrPrice      = attr("price", []string{"Price", "Launch price", "Price USD"}, "Value")
+	attrDate       = attr("release-date", []string{"Release date", "Released", "Launch date"}, "Date")
+	attrAuthor     = attr("author", []string{"Author", "Written by", "Authors"}, "Name")
+	attrWinner     = attr("winner", []string{"Winner", "Winners", "Champion"}, "Name")
+)
+
+// dom is a shorthand constructor.
+func dom(name string, query, keys []string, phrase string, attrs []Attr, rows [][]string,
+	relevant, confusable int, noise NoiseProfile) *Domain {
+	return &Domain{
+		Name: name, Query: query, Keys: keys, Phrase: phrase,
+		Attrs: attrs, Rows: rows,
+		Relevant: relevant, Confusable: confusable, Noise: noise,
+	}
+}
+
+// Domains instantiates every workload domain. The rng only feeds the
+// procedural vocabularies, so a fixed seed makes the whole corpus
+// deterministic.
+func Domains(rng *rand.Rand) []*Domain {
+	var ds []*Domain
+	add := func(d *Domain) { ds = append(ds, d) }
+
+	name2 := func(theme string, n int, extra ...procCol) [][]string {
+		cols := append([]procCol{{kind: procKindName, words: 2}}, extra...)
+		_ = theme
+		return procMatrix(rng, n, cols)
+	}
+
+	// --- single column queries ---------------------------------------
+	add(dom("dog-breeds", []string{"dog breed"}, []string{"dogbreed"},
+		"list of dog breeds",
+		[]Attr{attr("dogbreed", []string{"Dog breed", "Breed"}, "Name"), attr("breed-origin", []string{"Country of origin", "Origin"})},
+		column(dogBreedNames, dogBreedOrigins), 14, 4, profileClean))
+
+	add(dom("kings-of-africa", []string{"kings of africa"}, []string{"african-king"},
+		"monarchies and kingdoms of africa",
+		[]Attr{attr("african-king", []string{"King", "Monarch"}, "Name"), attrYear},
+		name2("king", 12, procCol{kind: procKindYear, lo: 1800, hi: 1990}), 0, 6, profileBrutal))
+
+	add(dom("moon-phases", []string{"phases of moon"}, []string{"moon-phase"},
+		"phases of the moon lunar cycle",
+		[]Attr{attr("moon-phase", []string{"Phase", "Moon phase"}, "Name"), attr("phase-day", []string{"Day", "Cycle day"})},
+		column(moonPhases, []string{"0", "4", "7", "11", "15", "18", "22", "26"}), 5, 8, profileHard))
+
+	add(dom("uk-pms", []string{"prime ministers of england"}, []string{"uk-pm"},
+		"prime ministers of england and the united kingdom",
+		[]Attr{attr("uk-pm", []string{"Prime Minister", "Prime minister name"}, "Name"), attrYear},
+		name2("pm", 14, procCol{kind: procKindYear, lo: 1721, hi: 2010}), 2, 9, profileBrutal))
+
+	add(dom("wrestlers", []string{"professional wrestlers"}, []string{"wrestler"},
+		"professional wrestlers of the modern era",
+		[]Attr{attr("wrestler", []string{"Wrestler", "Ring name"}, "Name"), attr("wrestler-debut", []string{"Debut", "Debut year"})},
+		column(wrestlerNames, []string{
+			"1977", "1972", "1987", "1989", "1996", "1992", "1984", "1978", "1973",
+			"1964", "2000", "2000", "1998", "1992", "1989", "1990", "1995", "1992", "1997", "1985",
+		}), 15, 3, profileClean))
+
+	// --- two column queries -------------------------------------------
+	add(dom("beijing-events", []string{"2008 beijing Olympic events", "winners"}, []string{"beijing-event", "winner"},
+		"2008 beijing olympic games",
+		[]Attr{attr("beijing-event", []string{"Event"}, "Name"), attrWinner},
+		name2("event", 10, procCol{kind: procKindName, words: 2}), 0, 8, profileBrutal))
+
+	add(dom("olympic-gold", []string{"2008 olympic gold medal winners", "sports/event"}, []string{"gold-winner", "sport"},
+		"gold medal winners of the 2008 olympics",
+		[]Attr{attr("gold-winner", []string{"Gold medalist"}, "Name"), attr("sport", []string{"Sport", "Event"})},
+		name2("athlete", 10, procCol{kind: procKindName, words: 1}), 0, 8, profileBrutal))
+
+	add(dom("australian-cities", []string{"australian cities", "area"}, []string{"au-city", "area"},
+		"cities of australia by area",
+		[]Attr{attr("au-city", []string{"City", "Australian city"}, "Name"), attr("area", []string{"Area", "Area km2", "Land area"}, "Value")},
+		column(australianCityNames, australianCityAreas), 3, 8, profileHard))
+
+	add(dom("banks", []string{"banks", "interest rates"}, []string{"bank", "interest-rate"},
+		"bank savings interest rates comparison",
+		[]Attr{attr("bank", []string{"Bank", "Bank name"}, "Name"), attr("interest-rate", []string{"Interest rate", "Savings rate", "APY"}, "Rate")},
+		column(bankNames, bankRates), 11, 4, profileMedium))
+
+	add(dom("black-metal", []string{"black metal bands", "country"}, []string{"metal-band", "country"},
+		"black metal bands by country",
+		[]Attr{attr("metal-band", []string{"Band", "Band name"}, "Name"), attrCountry, attr("genre", []string{"Genre", "Style"})},
+		column(metalBandNames, metalBandCountries, []string{
+			"Black metal", "Black metal", "Black metal", "Black metal", "Black metal",
+			"Black metal", "Black metal", "Black metal", "Black metal", "Black metal",
+			"Black metal", "Black metal",
+		}), 7, 6, profileHard))
+
+	add(dom("us-books", []string{"books in United States", "author"}, []string{"book", "author"},
+		"best selling books in the united states",
+		[]Attr{attr("book", []string{"Book", "Title"}, "Name"), attrAuthor},
+		column(bookTitles, bookAuthors), 2, 4, profileHard))
+
+	add(dom("car-accidents", []string{"car accidents location", "year"}, []string{"accident-location", "year"},
+		"major car accidents by location and year",
+		[]Attr{attr("accident-location", []string{"Location", "Accident location"}, "Place"), attrYear},
+		name2("accident", 12, procCol{kind: procKindYear, lo: 1970, hi: 2011}), 3, 7, profileBrutal))
+
+	add(dom("clothing-sizes", []string{"clothing sizes", "symbols"}, []string{"clothing-size", "size-symbol"},
+		"international clothing size conversion",
+		[]Attr{attr("clothing-size", []string{"Size"}, "Value"), attr("size-symbol", []string{"Symbol"}, "Code")},
+		name2("size", 8, procCol{kind: procKindName, words: 1}), 0, 6, profileBrutal))
+
+	add(dom("sun-composition", []string{"composition of the sun", "percentage"}, []string{"sun-element", "percentage"},
+		"chemical composition of the sun",
+		[]Attr{attr("sun-element", []string{"Element"}, "Name"), attr("percentage", []string{"Percentage", "Percent by mass", "Abundance"}, "Value")},
+		column([]string{"Hydrogen", "Helium", "Oxygen", "Carbon", "Neon", "Iron", "Nitrogen", "Silicon", "Magnesium", "Sulfur"},
+			[]string{"73.46", "24.85", "0.77", "0.29", "0.12", "0.16", "0.09", "0.07", "0.05", "0.04"}), 4, 8, profileHard))
+
+	add(dom("country-currency", []string{"country", "currency"}, []string{"country", "currency"},
+		"currencies of the world by country",
+		[]Attr{attrCountry, attrCurrency, attrPopulation},
+		column(countryNames, countryCurrencies, countryPopulations), 16, 0, profileClean))
+
+	add(dom("country-fuel", []string{"country", "daily fuel consumption"}, []string{"country", "fuel"},
+		"daily fuel consumption by country",
+		[]Attr{attrCountry, attrFuel},
+		column(countryNames, countryFuel), 5, 0, profileMedium))
+
+	add(dom("country-gdp", []string{"country", "gdp"}, []string{"country", "gdp"},
+		"countries of the world by gdp",
+		[]Attr{attrCountry, attrGDP, attrPopulation},
+		column(countryNames, countryGDPs, countryPopulations), 16, 0, profileClean))
+
+	add(dom("country-population", []string{"country", "population"}, []string{"country", "population"},
+		"world population by country",
+		[]Attr{attrCountry, attrPopulation, attrGDP},
+		column(countryNames, countryPopulations, countryGDPs), 16, 0, profileClean))
+
+	add(dom("country-usd", []string{"country", "us dollar exchange rate"}, []string{"country", "usd-rate"},
+		"exchange rates against the us dollar",
+		[]Attr{attrCountry, attrUSDRate, attrCurrency},
+		column(countryNames, countryUSDRates, countryCurrencies), 13, 0, profileMedium))
+
+	add(dom("fifa", []string{"fifa worlds cup winners", "year"}, []string{"fifa-winner", "year"},
+		"fifa world cup winners by year",
+		[]Attr{attr("fifa-winner", []string{"World cup winner", "Winner"}, "Country"), attrYear},
+		column(fifaWinners, fifaYears), 3, 11, profileBrutal))
+
+	add(dom("golden-globe", []string{"Golden Globe award winners", "year"}, []string{"globe-winner", "year"},
+		"golden globe award winners",
+		[]Attr{attr("globe-winner", []string{"Golden Globe winner", "Winner"}, "Name"), attrYear},
+		column(globeWinners, globeYears), 8, 2, profileMedium))
+
+	add(dom("ibanez", []string{"Ibanez guitar series", "models"}, []string{"guitar-series", "guitar-model"},
+		"ibanez guitar series and models",
+		[]Attr{attr("guitar-series", []string{"Series"}, "Name"), attr("guitar-model", []string{"Models", "Model"}, "Value")},
+		name2("guitar", 9, procCol{kind: procKindName, words: 1}), 2, 5, profileHard))
+
+	add(dom("tld-entity", []string{"Internet domains", "entity"}, []string{"tld", "country"},
+		"internet country code domains",
+		[]Attr{attrTLD, attrCountry},
+		column(countryDomains, countryNames), 3, 4, profileHard))
+
+	add(dom("bond-films", []string{"James Bond films", "year"}, []string{"bond-film", "year"},
+		"james bond films in order",
+		[]Attr{attr("bond-film", []string{"Film", "Film title"}, "Title"), attrYear},
+		column(bondFilmNames, bondFilmYears), 7, 3, profileMedium))
+
+	add(dom("windows", []string{"Microsoft Windows products", "release date"}, []string{"windows-product", "release-date"},
+		"microsoft windows release history",
+		[]Attr{attr("windows-product", []string{"Windows product", "Product", "Version"}, "Name"), attrDate},
+		column(windowsProducts, windowsDates), 6, 4, profileMedium))
+
+	add(dom("mlb", []string{"MLB world series winners", "year"}, []string{"mlb-winner", "year"},
+		"mlb world series champions",
+		[]Attr{attr("mlb-winner", []string{"World series winner", "Team"}, "Name"), attrYear},
+		column(mlbWinners, mlbYears), 2, 7, profileBrutal))
+
+	add(dom("movies", []string{"movies", "gross collection"}, []string{"movie", "gross"},
+		"highest grossing movies of all time",
+		[]Attr{attr("movie", []string{"Movie", "Film", "Movie title"}, "Title"), attr("gross", []string{"Gross collection", "Worldwide gross", "Box office"}, "Total")},
+		column(movieNames, movieGrosses), 16, 2, profileClean))
+
+	add(dom("parrots", []string{"name of parrot", "binomial name"}, []string{"parrot", "binomial"},
+		"species of parrots",
+		[]Attr{attr("parrot", []string{"Parrot", "Common name"}, "Name"), attr("binomial", []string{"Binomial name", "Scientific name"}, "Species")},
+		column(parrotNames, parrotBinomials), 4, 3, profileMedium))
+
+	add(dom("mountains", []string{"north american mountains", "height"}, []string{"mountain", "height"},
+		"highest mountains of north america",
+		[]Attr{attr("mountain", []string{"Mountain", "Mountain peak", "Peak"}, "Name"), attrHeight, attrCountry},
+		column(mountainNames, mountainHeights, mountainCountries), 9, 6, profileMedium))
+
+	add(dom("painkillers", []string{"pain killers", "company"}, []string{"painkiller", "company"},
+		"common pain killers and manufacturers",
+		[]Attr{attr("painkiller", []string{"Pain killer", "Drug"}, "Name"), attrCompany, attr("side-effect", []string{"Side effects", "Side effect"})},
+		column(painKillerNames, painKillerCompanies, painKillerSideEffects), 1, 0, profileClean))
+
+	add(dom("pga", []string{"pga players", "total score"}, []string{"pga-player", "score"},
+		"pga championship leaderboard",
+		[]Attr{attr("pga-player", []string{"Player", "Golfer"}, "Name"), attr("score", []string{"Total score", "Score"}, "Total")},
+		name2("golfer", 14, procCol{kind: procKindNumber, lo: 265, hi: 290}), 9, 4, profileMedium))
+
+	add(dom("ev", []string{"pre-production electric vehicle", "release date"}, []string{"ev-model", "release-date"},
+		"upcoming electric vehicles",
+		[]Attr{attr("ev-model", []string{"Vehicle"}, "Model"), attrDate},
+		name2("ev", 6, procCol{kind: procKindDate, lo: 2011, hi: 2014}), 0, 5, profileBrutal))
+
+	add(dom("shoes", []string{"running shoes model", "company"}, []string{"shoe-model", "company"},
+		"popular running shoes",
+		[]Attr{attr("shoe-model", []string{"Shoe model", "Model"}, "Name"), attrCompany},
+		name2("shoe", 9, procCol{kind: procKindName, words: 1}), 2, 5, profileHard))
+
+	add(dom("discoveries", []string{"science discoveries", "discoverers"}, []string{"discovery", "discoverer"},
+		"major scientific discoveries and their discoverers",
+		[]Attr{attr("discovery", []string{"Discovery", "Scientific discovery"}, "Name"), attr("discoverer", []string{"Discoverer", "Discovered by", "Scientist"}, "Name")},
+		name2("discovery", 13, procCol{kind: procKindName, words: 2}), 11, 3, profileMedium))
+
+	add(dom("mottos", []string{"university", "motto"}, []string{"university", "motto"},
+		"university mottos",
+		[]Attr{attr("university", []string{"University", "Institution"}, "Name"), attr("motto", []string{"Motto"}, "Text")},
+		column(universityNames, universityMottos), 2, 4, profileHard))
+
+	add(dom("us-cities", []string{"us cities", "population"}, []string{"us-city", "population"},
+		"largest cities in the united states",
+		[]Attr{attr("us-city", []string{"City", "US city"}, "Name"), attrPopulation},
+		column(usCityNames, usCityPopulations), 10, 4, profileClean))
+
+	add(dom("pizza", []string{"us pizza store", "annual sales"}, []string{"pizza-chain", "sales"},
+		"pizza chains in the united states by sales",
+		[]Attr{attr("pizza-chain", []string{"Pizza chain", "Chain"}, "Name"), attr("sales", []string{"Annual sales", "Sales"}, "Total")},
+		name2("pizza", 8, procCol{kind: procKindMoney, lo: 120, hi: 7000, suffix: " million"}), 1, 9, profileBrutal))
+
+	add(dom("usa-states-pop", []string{"usa states", "population"}, []string{"us-state", "population"},
+		"population of us states",
+		[]Attr{attr("us-state", []string{"State", "US state"}, "Name"), attrPopulation},
+		column(usStateNames, usStatePopulations), 11, 3, profileClean))
+
+	add(dom("cellphones", []string{"used cellphones", "price"}, []string{"used-phone", "price"},
+		"used cellphone price listings",
+		[]Attr{attr("used-phone", []string{"Phone"}, "Model"), attrPrice},
+		name2("phone", 8, procCol{kind: procKindMoney, lo: 40, hi: 420, suffix: ""}), 0, 7, profileBrutal))
+
+	add(dom("video-games", []string{"video games", "company"}, []string{"video-game", "company"},
+		"influential video games and their developers",
+		[]Attr{attr("video-game", []string{"Video game", "Game", "Game title"}, "Title"), attrCompany},
+		column(videoGameNames, videoGameCompanies), 9, 4, profileMedium))
+
+	add(dom("wimbledon", []string{"wimbledon champions", "year"}, []string{"wimbledon-champion", "year"},
+		"wimbledon gentlemen's singles champions",
+		[]Attr{attr("wimbledon-champion", []string{"Wimbledon champion", "Champion"}, "Name"), attrYear},
+		column(wimbledonChampions, wimbledonYears), 8, 5, profileMedium))
+
+	add(dom("buildings", []string{"world tallest buildings", "height"}, []string{"building", "height"},
+		"tallest buildings in the world",
+		[]Attr{attr("building", []string{"Building", "Building name"}, "Name"), attrHeight},
+		column(buildingNames, buildingHeights), 4, 12, profileBrutal))
+
+	// --- three column queries ------------------------------------------
+	add(dom("academy", []string{"academy award category", "winner", "year"}, []string{"award-category", "winner", "year"},
+		"academy award winners by category",
+		[]Attr{attr("award-category", []string{"Category", "Award category"}, "Name"), attrWinner, attrYear},
+		column(awardCategories, awardWinners, awardYears), 7, 9, profileHard))
+
+	add(dom("bittorrent", []string{"bittorrent clients", "license", "cost"}, []string{"bt-client", "license", "cost"},
+		"comparison of bittorrent clients",
+		[]Attr{attr("bt-client", []string{"Client"}, "Name"), attr("license", []string{"License"}), attr("cost", []string{"Cost"})},
+		name2("client", 6, procCol{kind: procKindName, words: 1}, procCol{kind: procKindMoney, lo: 0, hi: 40, suffix: ""}), 0, 0, profileBrutal))
+
+	add(dom("elements", []string{"chemical element", "atomic number", "atomic weight"}, []string{"element", "atomic-number", "atomic-weight"},
+		"periodic table of the chemical elements",
+		[]Attr{attr("element", []string{"Element", "Chemical element", "Element name"}, "Name"),
+			attr("atomic-number", []string{"Atomic number", "Number"}, "No."),
+			attr("atomic-weight", []string{"Atomic weight", "Atomic mass", "Standard atomic weight"}, "Weight")},
+		column(elementNames, elementNumbers, elementWeights), 10, 2, profileClean))
+
+	add(dom("stocks", []string{"company", "stock ticker", "price"}, []string{"company", "ticker", "price"},
+		"stock tickers and prices of public companies",
+		[]Attr{attrCompany, attr("ticker", []string{"Stock ticker", "Ticker", "Symbol"}, "Code"), attrPrice},
+		name2("corp", 16, procCol{kind: procKindName, words: 1}, procCol{kind: procKindMoney, lo: 8, hi: 900, suffix: ""}), 14, 2, profileClean))
+
+	add(dom("edu-exchange", []string{"educational exchange discipline in US", "number of students", "year"}, []string{"discipline", "student-count", "year"},
+		"international students in the united states by discipline",
+		[]Attr{attr("discipline", []string{"Discipline", "Field of study"}, "Name"),
+			attr("student-count", []string{"Number of students", "Students"}, "Total"), attrYear},
+		name2("field", 8, procCol{kind: procKindNumber, lo: 900, hi: 90000, suffix: ""}, procCol{kind: procKindYear, lo: 2004, hi: 2010}), 1, 6, profileBrutal))
+
+	add(dom("fast-cars", []string{"fast cars", "company", "top speed"}, []string{"car", "company", "top-speed"},
+		"fastest production cars in the world",
+		[]Attr{attr("car", []string{"Car", "Car model"}, "Model"), attrCompany,
+			attr("top-speed", []string{"Top speed", "Top speed km/h", "Max speed"}, "Speed")},
+		column(fastCarNames, fastCarCompanies, fastCarSpeeds), 9, 4, profileMedium))
+
+	add(dom("foods", []string{"food", "fat", "protein"}, []string{"food", "fat", "protein"},
+		"nutrition facts fat and protein per 100g",
+		[]Attr{attr("food", []string{"Food", "Food item"}, "Name"),
+			attr("fat", []string{"Fat", "Fat g", "Total fat"}, "Value"),
+			attr("protein", []string{"Protein", "Protein g"}, "Value")},
+		column(foodNames, foodFats, foodProteins), 12, 3, profileClean))
+
+	add(dom("ipods", []string{"ipod models", "release date", "price"}, []string{"ipod-model", "release-date", "price"},
+		"apple ipod model history",
+		[]Attr{attr("ipod-model", []string{"iPod model", "Model"}, "Name"), attrDate, attrPrice},
+		column(ipodModels, ipodDates, ipodPrices), 5, 7, profileHard))
+
+	add(dom("explorers", []string{"name of explorers", "nationality", "areas explored"}, []string{"explorer", "nationality", "areas"},
+		"list of explorers and their explorations",
+		[]Attr{attr("explorer", []string{"Name of explorer", "Explorer", "Who explorer"}, "Name"),
+			attr("nationality", []string{"Nationality"}, "Origin"),
+			attr("areas", []string{"Main areas explored", "Areas explored", "Exploration"}, "Area")},
+		column(explorerNames, explorerNationalities, explorerAreas), 6, 2, profileMedium))
+
+	add(dom("nba", []string{"NBA Match", "date", "winner"}, []string{"nba-match", "date", "winner"},
+		"nba match results",
+		[]Attr{attr("nba-match", []string{"Match", "Game"}, "Name"),
+			attr("date", []string{"Date", "Match date"}, "Day"), attrWinner},
+		name2("match", 13, procCol{kind: procKindDate, lo: 2008, hi: 2011}, procCol{kind: procKindName, words: 1}), 10, 3, profileMedium))
+
+	add(dom("jedi-novels", []string{"new Jedi Order novels", "authors", "year"}, []string{"jedi-novel", "author", "year"},
+		"new jedi order novel series",
+		[]Attr{attr("jedi-novel", []string{"Novel", "Novel title"}, "Title"), attrAuthor, attrYear},
+		name2("novel", 10, procCol{kind: procKindName, words: 2}, procCol{kind: procKindYear, lo: 1999, hi: 2003}), 8, 1, profileClean))
+
+	add(dom("nobel", []string{"Nobel prize winners", "field", "year"}, []string{"nobel-winner", "field", "year"},
+		"nobel prize winners by field and year",
+		[]Attr{attr("nobel-winner", []string{"Nobel prize winner", "Winner", "Laureate"}, "Name"),
+			attr("field", []string{"Field", "Prize field"}, "Category"), attrYear},
+		column(nobelWinnerNames, nobelFields, nobelYears), 4, 2, profileHard))
+
+	add(dom("olympus", []string{"Olympus digital SLR Models", "resolution", "price"}, []string{"camera-model", "resolution", "price"},
+		"olympus digital slr cameras",
+		[]Attr{attr("camera-model", []string{"Camera model", "Model"}, "Name"),
+			attr("resolution", []string{"Resolution", "Megapixels"}, "Value"), attrPrice},
+		name2("camera", 7, procCol{kind: procKindNumber, lo: 8, hi: 24, suffix: " MP"}, procCol{kind: procKindMoney, lo: 400, hi: 1800, suffix: ""}), 1, 4, profileBrutal))
+
+	add(dom("president-library", []string{"president", "library name", "location"}, []string{"president", "library", "location"},
+		"presidential libraries in the united states",
+		[]Attr{attr("president", []string{"President"}, "Name"),
+			attr("library", []string{"Library name", "Library"}, "Name"),
+			attr("location", []string{"Location", "City"}, "Place")},
+		column(presidentNames, presidentLibraries, presidentLibraryLocations), 1, 5, profileBrutal))
+
+	add(dom("religions", []string{"religion", "number of followers", "country of origin"}, []string{"religion", "followers", "origin-country"},
+		"major world religions by followers",
+		[]Attr{attr("religion", []string{"Religion"}, "Name"),
+			attr("followers", []string{"Number of followers", "Followers", "Adherents"}, "Total"),
+			attr("origin-country", []string{"Country of origin", "Origin", "Place of origin"}, "Region")},
+		column(religionNames, religionFollowers, religionOrigins), 9, 3, profileMedium))
+
+	add(dom("star-trek", []string{"Star Trek novels", "authors", "release date"}, []string{"trek-novel", "author", "release-date"},
+		"star trek novel publications",
+		[]Attr{attr("trek-novel", []string{"Novel", "Novel title"}, "Title"), attrAuthor, attrDate},
+		column(trekNovelTitles, trekNovelAuthors, trekNovelDates), 4, 1, profileClean))
+
+	add(dom("states-capitals", []string{"us states", "capitals", "largest cities"}, []string{"us-state", "capital", "largest-city"},
+		"us states their capitals and largest cities",
+		[]Attr{attr("us-state", []string{"State", "US state"}, "Name"),
+			attr("capital", []string{"Capital", "State capital"}, "City"),
+			attr("largest-city", []string{"Largest city", "Biggest city"}, "City")},
+		column(usStateNames, usStateCapitals, usStateLargestCities), 9, 4, profileMedium))
+
+	return ds
+}

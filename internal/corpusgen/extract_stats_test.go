@@ -1,0 +1,90 @@
+package corpusgen
+
+import (
+	"testing"
+
+	"wwt/internal/extract"
+)
+
+// TestHeaderRowDistribution checks that the extractor's header detection
+// over the generated corpus lands in a plausible band relative to the
+// paper's corpus statistics (§2.1.1: 60% one header row, 18% none, 17%
+// two, 5% more) and the generator's configured noise rates.
+func TestHeaderRowDistribution(t *testing.T) {
+	c := Generate(Config{Seed: 31, Scale: 1.0})
+	tables := c.ExtractAll(extract.NewOptions())
+	if len(tables) < 300 {
+		t.Fatalf("extracted only %d tables", len(tables))
+	}
+	counts := map[int]int{}
+	for _, tb := range tables {
+		n := tb.NumHeaderRows()
+		if n > 2 {
+			n = 2
+		}
+		counts[n]++
+	}
+	total := len(tables)
+	frac := func(n int) float64 { return float64(counts[n]) / float64(total) }
+	// Zero headers: generator configures 5-55% headerless by domain plus
+	// uninformative rows the detector may reject; expect a substantial
+	// minority.
+	if frac(0) < 0.10 || frac(0) > 0.50 {
+		t.Errorf("headerless fraction = %.2f, want within [0.10, 0.50]", frac(0))
+	}
+	// One header row must dominate.
+	if frac(1) < 0.40 {
+		t.Errorf("single-header fraction = %.2f, want >= 0.40", frac(1))
+	}
+	// Multi-row headers exist but are a minority.
+	if frac(2) == 0 {
+		t.Error("no multi-row headers detected despite MultiRow noise")
+	}
+	if frac(2) > 0.30 {
+		t.Errorf("multi-row header fraction = %.2f, too high", frac(2))
+	}
+}
+
+// TestExtractionYield: junk tables (forms, calendars, nav strips) must be
+// filtered; every surviving table validates.
+func TestExtractionYield(t *testing.T) {
+	c := Generate(Config{Seed: 32, Scale: 0.5})
+	tables := c.ExtractAll(extract.NewOptions())
+	for _, tb := range tables {
+		if err := tb.Validate(); err != nil {
+			t.Errorf("invalid extracted table: %v", err)
+		}
+		if tb.NumBodyRows() == 0 {
+			t.Errorf("table %s extracted with no body", tb.ID)
+		}
+	}
+	// Every extracted table with ground truth must have matching column
+	// count; those without truth must be few (title rows misclassified
+	// etc. can create extra splits, but not many).
+	unknown := 0
+	for _, tb := range tables {
+		if _, ok := c.Truth[tb.ID]; !ok {
+			unknown++
+		}
+	}
+	if unknown*5 > len(tables) {
+		t.Errorf("%d of %d extracted tables missing from truth ledger", unknown, len(tables))
+	}
+}
+
+// TestContextCarriesTopicTokens: on non-bare generated pages the table
+// context must include the domain phrase (the signal SegSim's out-part
+// relies on).
+func TestContextCarriesTopicTokens(t *testing.T) {
+	c := Generate(Config{Seed: 33, Scale: 0.3})
+	tables := c.ExtractAll(extract.NewOptions())
+	withContext := 0
+	for _, tb := range tables {
+		if len(tb.Context) > 0 {
+			withContext++
+		}
+	}
+	if withContext*10 < len(tables)*6 {
+		t.Errorf("only %d/%d tables have context snippets", withContext, len(tables))
+	}
+}

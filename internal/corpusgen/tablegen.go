@@ -1,0 +1,309 @@
+package corpusgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// tableSpec is one fully-decided table before HTML rendering.
+type tableSpec struct {
+	domain     *Domain
+	keys       []string   // semantic key per column ("" = filler)
+	headerRows [][]string // zero or more header rows
+	body       [][]string
+	title      string // optional in-table title row
+	useTH      bool
+	bold       bool // bold header cells (when not using <th>)
+}
+
+// buildRelevantTable assembles one relevant table of the domain: it always
+// carries the first query attribute, at least MinMatch query attributes in
+// total, optionally extra (na) attributes, with the domain's noise profile
+// applied.
+func buildRelevantTable(d *Domain, rng *rand.Rand) tableSpec {
+	q := len(d.Keys)
+	minMatch := 1
+	if q >= 2 {
+		minMatch = 2
+	}
+	// Choose attributes: key attr always; other query attrs with p=0.85
+	// (re-drawn until min-match holds); extra attrs with p=0.45.
+	var cols []int
+	for {
+		cols = cols[:0]
+		count := 0
+		for _, key := range d.Keys {
+			ai := d.attrIndex(key)
+			if ai < 0 {
+				continue
+			}
+			if key == d.Keys[0] || rng.Float64() < 0.85 {
+				cols = append(cols, ai)
+				count++
+			}
+		}
+		if count >= minInt(minMatch, q) {
+			break
+		}
+	}
+	for ai, a := range d.Attrs {
+		if containsInt(cols, ai) {
+			continue
+		}
+		isQuery := false
+		for _, k := range d.Keys {
+			if a.Key == k {
+				isQuery = true
+			}
+		}
+		if !isQuery && rng.Float64() < 0.45 {
+			cols = append(cols, ai)
+		}
+	}
+	rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+
+	rows := sampleRows(d.Rows, rng, 5, 14)
+	spec := tableSpec{domain: d}
+	for _, ai := range cols {
+		spec.keys = append(spec.keys, d.Attrs[ai].Key)
+	}
+	spec.body = project(rows, cols)
+	applyHeaderNoise(&spec, d, cols, rng)
+	return spec
+}
+
+// buildConfusableTable shares the key attribute's content but lacks enough
+// query attributes to be relevant — the content-overlap trap of §3.3.
+func buildConfusableTable(d *Domain, rng *rand.Rand) tableSpec {
+	keyIdx := d.attrIndex(d.Keys[0])
+	spec := tableSpec{domain: d}
+	rows := sampleRows(d.Rows, rng, 4, 10)
+
+	cols := []int{keyIdx}
+	spec.keys = []string{d.Keys[0]}
+	spec.body = project(rows, cols)
+	// Add 1-2 synthetic filler columns (rank, notes, a year column).
+	fillers := 1 + rng.Intn(2)
+	for f := 0; f < fillers; f++ {
+		kind := rng.Intn(3)
+		for r := range spec.body {
+			switch kind {
+			case 0:
+				spec.body[r] = append(spec.body[r], fmt.Sprintf("%d", r+1))
+			case 1:
+				spec.body[r] = append(spec.body[r], procName(rng, 1))
+			default:
+				spec.body[r] = append(spec.body[r], fmt.Sprintf("%d", 1950+rng.Intn(60)))
+			}
+		}
+		spec.keys = append(spec.keys, "")
+	}
+	// Header: key attr header (possibly uninformative) + generic fillers.
+	hdr := make([]string, len(spec.keys))
+	hdr[0] = pick(rng, d.Attrs[keyIdx].Headers)
+	if len(d.Attrs[keyIdx].Uninformative) > 0 && rng.Float64() < 0.3 {
+		hdr[0] = pick(rng, d.Attrs[keyIdx].Uninformative)
+	}
+	generic := []string{"Rank", "Notes", "Ref", "Details", "No."}
+	for i := 1; i < len(hdr); i++ {
+		hdr[i] = pick(rng, generic)
+	}
+	if rng.Float64() < 0.25 {
+		spec.headerRows = nil // headerless confusable
+	} else {
+		spec.headerRows = [][]string{hdr}
+	}
+	spec.useTH = rng.Float64() < d.Noise.TH
+	spec.bold = !spec.useTH
+	return spec
+}
+
+// applyHeaderNoise decides header rows for a relevant table per the
+// domain's noise profile.
+func applyHeaderNoise(spec *tableSpec, d *Domain, cols []int, rng *rand.Rand) {
+	n := d.Noise
+	if rng.Float64() < n.Headerless {
+		spec.headerRows = nil
+		return
+	}
+	hdr := make([]string, len(cols))
+	for i, ai := range cols {
+		a := d.Attrs[ai]
+		hdr[i] = pick(rng, a.Headers)
+		if len(a.Uninformative) > 0 && rng.Float64() < n.Uninformative {
+			hdr[i] = pick(rng, a.Uninformative)
+			continue
+		}
+		if rng.Float64() < n.SplitContext {
+			// Keep only the trailing word; the page context carries the
+			// full phrase ("Nobel prize" in context, "winner" in header).
+			words := strings.Fields(hdr[i])
+			hdr[i] = words[len(words)-1]
+		}
+	}
+	// Multi-row split: divide the words of one multi-word header across
+	// two rows (Fig. 1 Table 1: "Main areas" / "explored").
+	if rng.Float64() < n.MultiRow {
+		for i := range hdr {
+			words := strings.Fields(hdr[i])
+			if len(words) >= 2 {
+				second := make([]string, len(hdr))
+				cut := len(words) - 1
+				hdr[i] = strings.Join(words[:cut], " ")
+				second[i] = strings.Join(words[cut:], " ")
+				spec.headerRows = [][]string{hdr, second}
+				break
+			}
+		}
+	}
+	if spec.headerRows == nil {
+		spec.headerRows = [][]string{hdr}
+	}
+	// Spurious second header row with irrelevant detail (Fig. 1 Table 2:
+	// "(Chronological order)").
+	if len(spec.headerRows) == 1 && rng.Float64() < n.Spurious {
+		spurious := make([]string, len(hdr))
+		spurious[rng.Intn(len(spurious))] = pick(rng, []string{
+			"chronological order", "2008 data", "approximate", "alphabetical",
+		})
+		spec.headerRows = append(spec.headerRows, spurious)
+	}
+	if rng.Float64() < 0.25 {
+		spec.title = titleCase(d.Phrase)
+	}
+	spec.useTH = rng.Float64() < n.TH
+	spec.bold = !spec.useTH
+}
+
+// renderTable emits the HTML for a spec. Header cells use <th> or bold
+// <td> per the spec; every row is well-formed (the parser tests cover
+// malformed markup separately).
+func renderTable(spec tableSpec) string {
+	var b strings.Builder
+	b.WriteString("<table>\n")
+	ncols := len(spec.keys)
+	if spec.title != "" {
+		b.WriteString("<tr><td><b>" + escape(spec.title) + "</b></td>")
+		for i := 1; i < ncols; i++ {
+			b.WriteString("<td></td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	for _, hr := range spec.headerRows {
+		b.WriteString("<tr>")
+		for _, h := range hr {
+			switch {
+			case spec.useTH:
+				b.WriteString("<th>" + escape(h) + "</th>")
+			case spec.bold:
+				b.WriteString("<td><b>" + escape(h) + "</b></td>")
+			default:
+				b.WriteString("<td>" + escape(h) + "</td>")
+			}
+		}
+		b.WriteString("</tr>\n")
+	}
+	for _, row := range spec.body {
+		b.WriteString("<tr>")
+		for _, c := range row {
+			b.WriteString("<td>" + escape(c) + "</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}
+
+// renderJunkTable emits a non-data table: a form, a calendar or a nav
+// grid — the artifacts the extractor's data filter must reject.
+func renderJunkTable(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0: // form
+		return `<table><tr><td>Search</td><td><input type="text" name="q"></td></tr>
+<tr><td>Go</td><td><button>Submit</button></td></tr></table>`
+	case 1: // calendar
+		var b strings.Builder
+		b.WriteString("<table>")
+		day := 1
+		for r := 0; r < 5; r++ {
+			b.WriteString("<tr>")
+			for c := 0; c < 7; c++ {
+				if day <= 31 {
+					fmt.Fprintf(&b, "<td>%d</td>", day)
+					day++
+				} else {
+					b.WriteString("<td></td>")
+				}
+			}
+			b.WriteString("</tr>")
+		}
+		b.WriteString("</table>")
+		return b.String()
+	default: // single-row nav strip
+		return `<table><tr><td>Home</td><td>About</td><td>Contact</td><td>Help</td></tr></table>`
+	}
+}
+
+// --- small helpers --------------------------------------------------------
+
+func sampleRows(rows [][]string, rng *rand.Rand, lo, hi int) [][]string {
+	n := len(rows)
+	k := lo
+	if hi > lo && n > lo {
+		k = lo + rng.Intn(minInt(hi, n)-lo+1)
+	}
+	if k > n {
+		k = n
+	}
+	idx := rng.Perm(n)[:k]
+	out := make([][]string, k)
+	for i, r := range idx {
+		out[i] = rows[r]
+	}
+	return out
+}
+
+func project(rows [][]string, cols []int) [][]string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		row := make([]string, len(cols))
+		for j, c := range cols {
+			row[j] = r[c]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		if len(w) > 0 {
+			words[i] = strings.ToUpper(w[:1]) + w[1:]
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+var htmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+func escape(s string) string { return htmlEscaper.Replace(s) }

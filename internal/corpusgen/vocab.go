@@ -1,0 +1,625 @@
+package corpusgen
+
+// Hand-curated entity data backing the prominent workload domains. Each
+// block is a set of aligned columns: element i of every slice describes
+// the same entity. Real-world values keep the examples and experiments
+// legible; domains without curated data fall back to procedural entities
+// (entities.go).
+
+var countryNames = []string{
+	"France", "Germany", "Italy", "Spain", "Portugal", "Netherlands",
+	"Belgium", "Austria", "Switzerland", "Sweden", "Norway", "Denmark",
+	"Finland", "Poland", "Greece", "Ireland", "United Kingdom", "Iceland",
+	"United States", "Canada", "Mexico", "Brazil", "Argentina", "Chile",
+	"Peru", "Colombia", "Japan", "China", "India", "South Korea",
+	"Indonesia", "Thailand", "Vietnam", "Malaysia", "Philippines",
+	"Australia", "New Zealand", "South Africa", "Egypt", "Nigeria",
+	"Kenya", "Morocco", "Turkey", "Russia", "Ukraine", "Saudi Arabia",
+	"Israel", "Iran", "Pakistan", "Bangladesh",
+}
+
+var countryCurrencies = []string{
+	"Euro", "Euro", "Euro", "Euro", "Euro", "Euro",
+	"Euro", "Euro", "Swiss franc", "Swedish krona", "Norwegian krone", "Danish krone",
+	"Euro", "Zloty", "Euro", "Euro", "Pound sterling", "Icelandic krona",
+	"US dollar", "Canadian dollar", "Mexican peso", "Real", "Argentine peso", "Chilean peso",
+	"Sol", "Colombian peso", "Yen", "Renminbi", "Indian rupee", "Won",
+	"Rupiah", "Baht", "Dong", "Ringgit", "Philippine peso",
+	"Australian dollar", "New Zealand dollar", "Rand", "Egyptian pound", "Naira",
+	"Kenyan shilling", "Moroccan dirham", "Turkish lira", "Ruble", "Hryvnia", "Riyal",
+	"Shekel", "Iranian rial", "Pakistani rupee", "Taka",
+}
+
+var countryPopulations = []string{
+	"65 million", "83 million", "60 million", "47 million", "10 million", "17 million",
+	"11 million", "9 million", "8.6 million", "10.4 million", "5.4 million", "5.8 million",
+	"5.5 million", "38 million", "10.7 million", "5 million", "67 million", "370 thousand",
+	"331 million", "38 million", "128 million", "212 million", "45 million", "19 million",
+	"33 million", "50 million", "126 million", "1402 million", "1380 million", "51 million",
+	"273 million", "69 million", "97 million", "32 million", "109 million",
+	"25 million", "5 million", "59 million", "102 million", "206 million",
+	"53 million", "36 million", "84 million", "144 million", "44 million", "34 million",
+	"9 million", "83 million", "220 million", "164 million",
+}
+
+var countryGDPs = []string{
+	"2716 billion", "3846 billion", "1888 billion", "1281 billion", "228 billion", "913 billion",
+	"521 billion", "433 billion", "748 billion", "541 billion", "362 billion", "356 billion",
+	"269 billion", "594 billion", "189 billion", "418 billion", "2707 billion", "21 billion",
+	"20937 billion", "1643 billion", "1076 billion", "1444 billion", "389 billion", "252 billion",
+	"202 billion", "271 billion", "5065 billion", "14722 billion", "2623 billion", "1630 billion",
+	"1058 billion", "501 billion", "271 billion", "336 billion", "361 billion",
+	"1392 billion", "212 billion", "301 billion", "363 billion", "432 billion",
+	"98 billion", "112 billion", "720 billion", "1483 billion", "155 billion", "700 billion",
+	"401 billion", "231 billion", "263 billion", "324 billion",
+}
+
+var countryUSDRates = []string{
+	"0.93", "0.93", "0.93", "0.93", "0.93", "0.93",
+	"0.93", "0.93", "0.91", "10.5", "10.6", "6.9",
+	"0.93", "4.0", "0.93", "0.93", "0.79", "138",
+	"1.00", "1.36", "17.1", "4.9", "350", "930",
+	"3.7", "3900", "150", "7.2", "83", "1330",
+	"15600", "35", "24500", "4.7", "56",
+	"1.52", "1.64", "18.6", "31", "780",
+	"129", "10.1", "29", "92", "37", "3.75",
+	"3.7", "42000", "278", "110",
+}
+
+var countryFuel = []string{
+	"1.7 million bbl", "2.3 million bbl", "1.2 million bbl", "1.2 million bbl", "0.23 million bbl", "0.9 million bbl",
+	"0.6 million bbl", "0.27 million bbl", "0.22 million bbl", "0.3 million bbl", "0.2 million bbl", "0.16 million bbl",
+	"0.2 million bbl", "0.65 million bbl", "0.3 million bbl", "0.15 million bbl", "1.6 million bbl", "0.02 million bbl",
+	"19.7 million bbl", "2.4 million bbl", "2.0 million bbl", "3.0 million bbl", "0.8 million bbl", "0.4 million bbl",
+	"0.25 million bbl", "0.35 million bbl", "3.7 million bbl", "14.2 million bbl", "4.7 million bbl", "2.6 million bbl",
+	"1.7 million bbl", "1.3 million bbl", "0.5 million bbl", "0.7 million bbl", "0.43 million bbl",
+	"1.0 million bbl", "0.17 million bbl", "0.6 million bbl", "0.8 million bbl", "0.45 million bbl",
+	"0.11 million bbl", "0.3 million bbl", "1.0 million bbl", "3.2 million bbl", "0.22 million bbl", "3.2 million bbl",
+	"0.23 million bbl", "1.8 million bbl", "0.5 million bbl", "0.12 million bbl",
+}
+
+var countryDomains = []string{
+	".fr", ".de", ".it", ".es", ".pt", ".nl",
+	".be", ".at", ".ch", ".se", ".no", ".dk",
+	".fi", ".pl", ".gr", ".ie", ".uk", ".is",
+	".us", ".ca", ".mx", ".br", ".ar", ".cl",
+	".pe", ".co", ".jp", ".cn", ".in", ".kr",
+	".id", ".th", ".vn", ".my", ".ph",
+	".au", ".nz", ".za", ".eg", ".ng",
+	".ke", ".ma", ".tr", ".ru", ".ua", ".sa",
+	".il", ".ir", ".pk", ".bd",
+}
+
+var explorerNames = []string{
+	"Vasco da Gama", "Christopher Columbus", "Abel Tasman", "Ferdinand Magellan",
+	"James Cook", "Marco Polo", "Alexander Mackenzie", "Hernan Cortes",
+	"Francisco Pizarro", "John Cabot", "Jacques Cartier", "Henry Hudson",
+	"David Livingstone", "Roald Amundsen", "Ernest Shackleton", "Zheng He",
+	"Ibn Battuta", "Leif Erikson", "Amerigo Vespucci", "Bartolomeu Dias",
+}
+
+var explorerNationalities = []string{
+	"Portuguese", "Italian", "Dutch", "Portuguese",
+	"British", "Italian", "British", "Spanish",
+	"Spanish", "Italian", "French", "English",
+	"Scottish", "Norwegian", "Irish", "Chinese",
+	"Moroccan", "Norse", "Italian", "Portuguese",
+}
+
+var explorerAreas = []string{
+	"Sea route to India", "Caribbean", "Oceania", "Pacific circumnavigation",
+	"Pacific Ocean", "Silk Road", "Canada", "Mexico",
+	"Peru", "North America coast", "St Lawrence River", "Hudson Bay",
+	"Central Africa", "South Pole", "Antarctica", "Indian Ocean",
+	"North Africa and Asia", "Vinland", "South America coast", "Cape of Good Hope",
+}
+
+var mountainNames = []string{
+	"Denali", "Mount Logan", "Pico de Orizaba", "Mount Saint Elias",
+	"Popocatepetl", "Mount Foraker", "Mount Lucania", "Iztaccihuatl",
+	"King Peak", "Mount Bona", "Mount Steele", "Mount Blackburn",
+	"Mount Sanford", "Mount Wood", "Mount Vancouver", "Mount Churchill",
+	"Mount Fairweather", "Mount Hubbard", "Mount Bear", "Mount Walsh",
+	"Mount Whitney", "Mount Elbert", "Mount Rainier", "Mount Shasta", "Pikes Peak",
+}
+
+var mountainHeights = []string{
+	"6190", "5959", "5636", "5489",
+	"5426", "5304", "5260", "5230",
+	"5173", "5044", "5073", "4996",
+	"4949", "4842", "4812", "4766",
+	"4671", "4577", "4520", "4507",
+	"4421", "4401", "4392", "4322", "4302",
+}
+
+var mountainCountries = []string{
+	"United States", "Canada", "Mexico", "United States",
+	"Mexico", "United States", "Canada", "Mexico",
+	"Canada", "United States", "Canada", "United States",
+	"United States", "Canada", "Canada", "United States",
+	"United States", "Canada", "United States", "Canada",
+	"United States", "United States", "United States", "United States", "United States",
+}
+
+var dogBreedNames = []string{
+	"Labrador Retriever", "German Shepherd", "Golden Retriever", "Beagle",
+	"Bulldog", "Poodle", "Rottweiler", "Dachshund", "Boxer", "Great Dane",
+	"Siberian Husky", "Doberman Pinscher", "Shih Tzu", "Border Collie",
+	"Chihuahua", "Pomeranian", "Saint Bernard", "Akita", "Dalmatian",
+	"Basset Hound", "Greyhound", "Mastiff", "Samoyed", "Whippet",
+}
+
+var dogBreedOrigins = []string{
+	"Canada", "Germany", "United Kingdom", "United Kingdom",
+	"United Kingdom", "France", "Germany", "Germany", "Germany", "Germany",
+	"Russia", "Germany", "China", "United Kingdom",
+	"Mexico", "Germany", "Switzerland", "Japan", "Croatia",
+	"France", "United Kingdom", "United Kingdom", "Russia", "United Kingdom",
+}
+
+var elementNames = []string{
+	"Hydrogen", "Helium", "Lithium", "Beryllium", "Boron", "Carbon",
+	"Nitrogen", "Oxygen", "Fluorine", "Neon", "Sodium", "Magnesium",
+	"Aluminium", "Silicon", "Phosphorus", "Sulfur", "Chlorine", "Argon",
+	"Potassium", "Calcium", "Scandium", "Titanium", "Vanadium", "Chromium",
+	"Manganese", "Iron", "Cobalt", "Nickel", "Copper", "Zinc",
+}
+
+var elementNumbers = []string{
+	"1", "2", "3", "4", "5", "6", "7", "8", "9", "10",
+	"11", "12", "13", "14", "15", "16", "17", "18", "19", "20",
+	"21", "22", "23", "24", "25", "26", "27", "28", "29", "30",
+}
+
+var elementWeights = []string{
+	"1.008", "4.0026", "6.94", "9.0122", "10.81", "12.011",
+	"14.007", "15.999", "18.998", "20.180", "22.990", "24.305",
+	"26.982", "28.085", "30.974", "32.06", "35.45", "39.948",
+	"39.098", "40.078", "44.956", "47.867", "50.942", "51.996",
+	"54.938", "55.845", "58.933", "58.693", "63.546", "65.38",
+}
+
+var usStateNames = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+	"Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+	"Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+	"Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+	"New York", "Texas",
+}
+
+var usStateCapitals = []string{
+	"Montgomery", "Juneau", "Phoenix", "Little Rock", "Sacramento", "Denver",
+	"Hartford", "Dover", "Tallahassee", "Atlanta", "Honolulu", "Boise",
+	"Springfield", "Indianapolis", "Des Moines", "Topeka", "Frankfort", "Baton Rouge",
+	"Augusta", "Annapolis", "Boston", "Lansing", "Saint Paul",
+	"Jackson", "Jefferson City", "Helena", "Lincoln", "Carson City",
+	"Albany", "Austin",
+}
+
+var usStateLargestCities = []string{
+	"Birmingham", "Anchorage", "Phoenix", "Little Rock", "Los Angeles", "Denver",
+	"Bridgeport", "Wilmington", "Jacksonville", "Atlanta", "Honolulu", "Boise",
+	"Chicago", "Indianapolis", "Des Moines", "Wichita", "Louisville", "New Orleans",
+	"Portland", "Baltimore", "Boston", "Detroit", "Minneapolis",
+	"Jackson", "Kansas City", "Billings", "Omaha", "Las Vegas",
+	"New York City", "Houston",
+}
+
+var usStatePopulations = []string{
+	"5.0 million", "0.73 million", "7.2 million", "3.0 million", "39.5 million", "5.8 million",
+	"3.6 million", "0.99 million", "21.5 million", "10.7 million", "1.46 million", "1.84 million",
+	"12.8 million", "6.8 million", "3.2 million", "2.9 million", "4.5 million", "4.7 million",
+	"1.36 million", "6.2 million", "7.0 million", "10.1 million", "5.7 million",
+	"2.96 million", "6.15 million", "1.08 million", "1.96 million", "3.1 million",
+	"20.2 million", "29.1 million",
+}
+
+var usCityNames = []string{
+	"New York City", "Los Angeles", "Chicago", "Houston", "Phoenix",
+	"Philadelphia", "San Antonio", "San Diego", "Dallas", "San Jose",
+	"Austin", "Jacksonville", "Fort Worth", "Columbus", "Charlotte",
+	"San Francisco", "Indianapolis", "Seattle", "Denver", "Boston",
+}
+
+var usCityPopulations = []string{
+	"8.8 million", "3.9 million", "2.7 million", "2.3 million", "1.6 million",
+	"1.6 million", "1.4 million", "1.4 million", "1.3 million", "1.0 million",
+	"0.96 million", "0.95 million", "0.92 million", "0.90 million", "0.87 million",
+	"0.87 million", "0.88 million", "0.74 million", "0.72 million", "0.68 million",
+}
+
+var australianCityNames = []string{
+	"Sydney", "Melbourne", "Brisbane", "Perth", "Adelaide", "Gold Coast",
+	"Canberra", "Newcastle", "Wollongong", "Hobart", "Geelong", "Townsville",
+}
+
+var australianCityAreas = []string{
+	"12368", "9993", "15826", "6418", "3258", "1334",
+	"814", "262", "714", "1696", "1240", "3736",
+}
+
+var movieNames = []string{
+	"Avatar", "Titanic", "The Avengers", "Jurassic Park", "The Lion King",
+	"Frozen", "Iron Man", "The Dark Knight", "Forrest Gump", "Gladiator",
+	"Inception", "Interstellar", "The Matrix", "Casablanca", "Jaws",
+	"Star Wars", "E.T.", "Rocky", "Alien", "Toy Story",
+}
+
+var movieGrosses = []string{
+	"2847 million", "2201 million", "1519 million", "1033 million", "968 million",
+	"1280 million", "585 million", "1004 million", "678 million", "460 million",
+	"836 million", "701 million", "463 million", "3.7 million", "470 million",
+	"775 million", "792 million", "225 million", "104 million", "373 million",
+}
+
+var bondFilmNames = []string{
+	"Dr. No", "From Russia with Love", "Goldfinger", "Thunderball",
+	"You Only Live Twice", "On Her Majesty's Secret Service", "Diamonds Are Forever",
+	"Live and Let Die", "The Man with the Golden Gun", "The Spy Who Loved Me",
+	"Moonraker", "For Your Eyes Only", "Octopussy", "GoldenEye", "Casino Royale",
+}
+
+var bondFilmYears = []string{
+	"1962", "1963", "1964", "1965",
+	"1967", "1969", "1971",
+	"1973", "1974", "1977",
+	"1979", "1981", "1983", "1995", "2006",
+}
+
+var wrestlerNames = []string{
+	"Hulk Hogan", "Ric Flair", "The Undertaker", "Stone Cold Steve Austin",
+	"The Rock", "Triple H", "Shawn Michaels", "Bret Hart", "Randy Savage",
+	"Andre the Giant", "John Cena", "Randy Orton", "Kurt Angle", "Edge",
+	"Rey Mysterio", "Chris Jericho", "Big Show", "Kane", "Batista", "Sting",
+}
+
+var painKillerNames = []string{
+	"Aspirin", "Ibuprofen", "Paracetamol", "Naproxen", "Diclofenac",
+	"Celecoxib", "Tramadol", "Codeine", "Morphine", "Oxycodone",
+}
+
+var painKillerCompanies = []string{
+	"Bayer", "Pfizer", "GlaxoSmithKline", "Roche", "Novartis",
+	"Pfizer", "Grunenthal", "Sanofi", "Purdue", "Purdue",
+}
+
+var painKillerSideEffects = []string{
+	"stomach bleeding", "nausea", "liver damage", "heartburn", "dizziness",
+	"headache", "drowsiness", "constipation", "sedation", "dependence",
+}
+
+var bankNames = []string{
+	"Chase", "Bank of America", "Wells Fargo", "Citibank", "HSBC",
+	"Barclays", "Deutsche Bank", "BNP Paribas", "Santander", "ING",
+	"UBS", "Credit Suisse",
+}
+
+var bankRates = []string{
+	"0.01%", "0.03%", "0.15%", "0.50%", "1.20%",
+	"0.75%", "0.60%", "0.90%", "1.10%", "1.50%",
+	"0.25%", "0.35%",
+}
+
+var fastCarNames = []string{
+	"Bugatti Veyron", "Koenigsegg Agera", "Hennessey Venom GT", "SSC Ultimate Aero",
+	"McLaren F1", "Pagani Huayra", "Lamborghini Aventador", "Ferrari LaFerrari",
+	"Porsche 918 Spyder", "Tesla Roadster", "Jaguar XJ220", "Bugatti Chiron",
+	"Aston Martin One-77", "Zenvo ST1",
+}
+
+var fastCarCompanies = []string{
+	"Bugatti", "Koenigsegg", "Hennessey", "SSC",
+	"McLaren", "Pagani", "Lamborghini", "Ferrari",
+	"Porsche", "Tesla", "Jaguar", "Bugatti",
+	"Aston Martin", "Zenvo",
+}
+
+var fastCarSpeeds = []string{
+	"431", "418", "435", "412",
+	"386", "383", "350", "352",
+	"345", "402", "341", "420",
+	"354", "375",
+}
+
+var foodNames = []string{
+	"Cheddar cheese", "Whole milk", "Butter", "Olive oil", "White bread",
+	"Brown rice", "Chicken breast", "Salmon", "Eggs", "Almonds",
+	"Peanut butter", "Yogurt", "Avocado", "Banana", "Apple",
+	"Broccoli", "Potato", "Lentils",
+}
+
+var foodFats = []string{
+	"33", "3.3", "81", "100", "3.2",
+	"0.9", "3.6", "13", "11", "49",
+	"50", "3.3", "15", "0.3", "0.2",
+	"0.4", "0.1", "0.4",
+}
+
+var foodProteins = []string{
+	"25", "3.2", "0.9", "0", "9",
+	"2.6", "31", "20", "13", "21",
+	"25", "3.5", "2", "1.1", "0.3",
+	"2.8", "2", "9",
+}
+
+var religionNames = []string{
+	"Christianity", "Islam", "Hinduism", "Buddhism", "Sikhism",
+	"Judaism", "Bahai Faith", "Jainism", "Shinto", "Taoism",
+}
+
+var religionFollowers = []string{
+	"2.4 billion", "1.9 billion", "1.2 billion", "506 million", "26 million",
+	"15 million", "6 million", "4.5 million", "3 million", "9 million",
+}
+
+var religionOrigins = []string{
+	"Judea", "Arabia", "India", "India", "India",
+	"Judea", "Iran", "India", "Japan", "China",
+}
+
+var metalBandNames = []string{
+	"Mayhem", "Darkthrone", "Burzum", "Emperor", "Immortal",
+	"Gorgoroth", "Satyricon", "Bathory", "Venom", "Marduk",
+	"Dark Funeral", "Watain",
+}
+
+var metalBandCountries = []string{
+	"Norway", "Norway", "Norway", "Norway", "Norway",
+	"Norway", "Norway", "Sweden", "United Kingdom", "Sweden",
+	"Sweden", "Sweden",
+}
+
+var awardCategories = []string{
+	"Best Picture", "Best Director", "Best Actor", "Best Actress",
+	"Best Supporting Actor", "Best Supporting Actress", "Best Original Screenplay",
+	"Best Adapted Screenplay", "Best Cinematography", "Best Film Editing",
+	"Best Original Score", "Best Visual Effects",
+}
+
+var awardWinners = []string{
+	"The Artist", "Michel Hazanavicius", "Jean Dujardin", "Meryl Streep",
+	"Christopher Plummer", "Octavia Spencer", "Woody Allen",
+	"Alexander Payne", "Robert Richardson", "Kirk Baxter",
+	"Ludovic Bource", "Rob Legato",
+}
+
+var awardYears = []string{
+	"2011", "2011", "2011", "2011",
+	"2011", "2011", "2011",
+	"2011", "2011", "2011",
+	"2011", "2011",
+}
+
+var wimbledonChampions = []string{
+	"Roger Federer", "Rafael Nadal", "Novak Djokovic", "Andy Murray",
+	"Pete Sampras", "Andre Agassi", "Boris Becker", "Stefan Edberg",
+	"Bjorn Borg", "John McEnroe", "Jimmy Connors", "Goran Ivanisevic",
+	"Lleyton Hewitt", "Michael Stich", "Richard Krajicek",
+}
+
+var wimbledonYears = []string{
+	"2009", "2010", "2011", "2013",
+	"2000", "1992", "1989", "1990",
+	"1980", "1984", "1982", "2001",
+	"2002", "1991", "1996",
+}
+
+var fifaWinners = []string{
+	"Uruguay", "Italy", "Germany", "Brazil", "England",
+	"Argentina", "France", "Spain", "Brazil", "Italy", "Germany", "France",
+}
+
+var fifaYears = []string{
+	"1930", "1934", "1954", "1958", "1966",
+	"1978", "1998", "2010", "2002", "2006", "2014", "2018",
+}
+
+var videoGameNames = []string{
+	"The Legend of Zelda", "Super Mario Bros", "Tetris", "Minecraft",
+	"Grand Theft Auto V", "The Sims", "Pac-Man", "Doom", "Half-Life",
+	"Halo", "World of Warcraft", "Street Fighter II", "Final Fantasy VII",
+	"Portal", "StarCraft",
+}
+
+var videoGameCompanies = []string{
+	"Nintendo", "Nintendo", "Alexey Pajitnov", "Mojang",
+	"Rockstar Games", "Electronic Arts", "Namco", "id Software", "Valve",
+	"Bungie", "Blizzard", "Capcom", "Square",
+	"Valve", "Blizzard",
+}
+
+var windowsProducts = []string{
+	"Windows 95", "Windows 98", "Windows 2000", "Windows ME",
+	"Windows XP", "Windows Vista", "Windows 7", "Windows 8",
+	"Windows Server 2003", "Windows Server 2008",
+}
+
+var windowsDates = []string{
+	"August 1995", "June 1998", "February 2000", "September 2000",
+	"October 2001", "January 2007", "October 2009", "October 2012",
+	"April 2003", "February 2008",
+}
+
+var ipodModels = []string{
+	"iPod Classic", "iPod Mini", "iPod Nano", "iPod Shuffle",
+	"iPod Touch", "iPod Photo", "iPod Video", "iPod Nano 2nd gen",
+	"iPod Touch 4th gen", "iPod Shuffle 3rd gen",
+}
+
+var ipodDates = []string{
+	"October 2001", "January 2004", "September 2005", "January 2005",
+	"September 2007", "October 2004", "October 2005", "September 2006",
+	"September 2010", "March 2009",
+}
+
+var ipodPrices = []string{
+	"399", "249", "199", "99",
+	"299", "499", "299", "149",
+	"229", "79",
+}
+
+var buildingNames = []string{
+	"Burj Khalifa", "Shanghai Tower", "Abraj Al-Bait", "Ping An Finance Center",
+	"Lotte World Tower", "One World Trade Center", "Guangzhou CTF Centre",
+	"Taipei 101", "Shanghai World Financial Center", "Petronas Towers",
+	"Empire State Building", "Willis Tower", "Zifeng Tower", "KK100",
+	"International Commerce Centre",
+}
+
+var buildingHeights = []string{
+	"828", "632", "601", "599",
+	"554", "541", "530",
+	"508", "492", "452",
+	"443", "442", "450", "442",
+	"484",
+}
+
+var nobelWinnerNames = []string{
+	"Marie Curie", "Albert Einstein", "Niels Bohr", "Werner Heisenberg",
+	"Ernest Rutherford", "Linus Pauling", "Francis Crick", "James Watson",
+	"Richard Feynman", "Max Planck", "Erwin Schrodinger", "Paul Dirac",
+	"Enrico Fermi", "Dorothy Hodgkin", "Frederick Sanger",
+}
+
+var nobelFields = []string{
+	"Physics", "Physics", "Physics", "Physics",
+	"Chemistry", "Chemistry", "Medicine", "Medicine",
+	"Physics", "Physics", "Physics", "Physics",
+	"Physics", "Chemistry", "Chemistry",
+}
+
+var nobelYears = []string{
+	"1903", "1921", "1922", "1932",
+	"1908", "1954", "1962", "1962",
+	"1965", "1918", "1933", "1933",
+	"1938", "1964", "1958",
+}
+
+var moonPhases = []string{
+	"New Moon", "Waxing Crescent", "First Quarter", "Waxing Gibbous",
+	"Full Moon", "Waning Gibbous", "Last Quarter", "Waning Crescent",
+}
+
+var parrotNames = []string{
+	"African Grey", "Budgerigar", "Cockatiel", "Scarlet Macaw",
+	"Blue-and-yellow Macaw", "Sun Conure", "Eclectus", "Kakapo",
+	"Rainbow Lorikeet", "Galah",
+}
+
+var parrotBinomials = []string{
+	"Psittacus erithacus", "Melopsittacus undulatus", "Nymphicus hollandicus", "Ara macao",
+	"Ara ararauna", "Aratinga solstitialis", "Eclectus roratus", "Strigops habroptilus",
+	"Trichoglossus moluccanus", "Eolophus roseicapilla",
+}
+
+var cheeseNames = []string{
+	"Cheddar", "Brie", "Gouda", "Parmesan", "Roquefort", "Feta",
+	"Mozzarella", "Camembert", "Manchego", "Gruyere", "Stilton", "Halloumi",
+}
+
+var cheeseCountries = []string{
+	"United Kingdom", "France", "Netherlands", "Italy", "France", "Greece",
+	"Italy", "France", "Spain", "Switzerland", "United Kingdom", "Cyprus",
+}
+
+var cheeseMilks = []string{
+	"Cow", "Cow", "Cow", "Cow", "Sheep", "Sheep",
+	"Buffalo", "Cow", "Sheep", "Cow", "Cow", "Goat",
+}
+
+var bookTitles = []string{
+	"To Kill a Mockingbird", "The Great Gatsby", "The Catcher in the Rye",
+	"Of Mice and Men", "The Grapes of Wrath", "Beloved", "Moby Dick",
+	"The Scarlet Letter", "Gone with the Wind", "On the Road",
+	"The Sun Also Rises", "Invisible Man",
+}
+
+var bookAuthors = []string{
+	"Harper Lee", "F. Scott Fitzgerald", "J.D. Salinger",
+	"John Steinbeck", "John Steinbeck", "Toni Morrison", "Herman Melville",
+	"Nathaniel Hawthorne", "Margaret Mitchell", "Jack Kerouac",
+	"Ernest Hemingway", "Ralph Ellison",
+}
+
+var globeWinners = []string{
+	"The Social Network", "Avatar", "Slumdog Millionaire", "Atonement",
+	"Babel", "Brokeback Mountain", "The Aviator", "The Hours",
+	"A Beautiful Mind", "Gladiator", "American Beauty", "Titanic",
+	"The Descendants", "Boyhood",
+}
+
+var globeYears = []string{
+	"2011", "2010", "2009", "2008",
+	"2007", "2006", "2005", "2003",
+	"2002", "2001", "2000", "1998",
+	"2012", "2015",
+}
+
+var mlbWinners = []string{
+	"New York Yankees", "Boston Red Sox", "St. Louis Cardinals",
+	"San Francisco Giants", "Philadelphia Phillies", "Chicago White Sox",
+	"Florida Marlins", "Anaheim Angels", "Arizona Diamondbacks",
+	"Atlanta Braves",
+}
+
+var mlbYears = []string{
+	"2009", "2007", "2006",
+	"2010", "2008", "2005",
+	"2003", "2002", "2001",
+	"1995",
+}
+
+var presidentNames = []string{
+	"Franklin D. Roosevelt", "Harry S. Truman", "Dwight D. Eisenhower",
+	"John F. Kennedy", "Lyndon B. Johnson", "Richard Nixon",
+	"Gerald Ford", "Jimmy Carter", "Ronald Reagan", "George H. W. Bush",
+	"Bill Clinton", "George W. Bush",
+}
+
+var presidentLibraries = []string{
+	"Roosevelt Presidential Library", "Truman Presidential Library", "Eisenhower Presidential Library",
+	"Kennedy Presidential Library", "Johnson Presidential Library", "Nixon Presidential Library",
+	"Ford Presidential Library", "Carter Presidential Library", "Reagan Presidential Library", "Bush Presidential Library",
+	"Clinton Presidential Center", "Bush Presidential Center",
+}
+
+var presidentLibraryLocations = []string{
+	"Hyde Park", "Independence", "Abilene",
+	"Boston", "Austin", "Yorba Linda",
+	"Ann Arbor", "Atlanta", "Simi Valley", "College Station",
+	"Little Rock", "Dallas",
+}
+
+var universityNames = []string{
+	"Harvard University", "Yale University", "Princeton University",
+	"Stanford University", "Oxford University", "Cambridge University",
+	"MIT", "Columbia University", "University of Chicago", "Cornell University",
+}
+
+var universityMottos = []string{
+	"Veritas", "Lux et veritas", "Dei sub numine viget",
+	"Die Luft der Freiheit weht", "Dominus illuminatio mea", "Hinc lucem et pocula sacra",
+	"Mens et manus", "In lumine tuo videbimus lumen", "Crescat scientia vita excolatur", "I would found an institution",
+}
+
+var trekNovelTitles = []string{
+	"Spock Must Die", "The Entropy Effect", "The Wounded Sky",
+	"My Enemy My Ally", "Yesterdays Son", "Spocks World",
+	"Prime Directive", "The Final Reflection", "How Much for Just the Planet",
+	"Imzadi",
+}
+
+var trekNovelAuthors = []string{
+	"James Blish", "Vonda McIntyre", "Diane Duane",
+	"Diane Duane", "A.C. Crispin", "Diane Duane",
+	"Judith Reeves-Stevens", "John M. Ford", "John M. Ford",
+	"Peter David",
+}
+
+var trekNovelDates = []string{
+	"February 1970", "June 1981", "December 1983",
+	"July 1984", "August 1983", "September 1988",
+	"September 1990", "November 1984", "October 1987",
+	"August 1992",
+}

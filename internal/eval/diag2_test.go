@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"testing"
+
+	"wwt/internal/core"
+	"wwt/internal/corpusgen"
+)
+
+// TestDiagnoseFalsePositives dumps, for a chosen query, every table whose
+// predicted relevance disagrees with ground truth, with its potentials.
+func TestDiagnoseFalsePositives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	r, err := NewRunner(corpusgen.Config{Seed: 2012}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, domain := range []string{"country-currency", "black-metal", "dog-breeds"} {
+		var q = r.Queries[0]
+		for _, qq := range r.Queries {
+			if qq.Domain == domain {
+				q = qq
+			}
+		}
+		res := r.Run(q)
+		wl := res.Labelings[MethodWWT]
+		wm := res.Labelings["None"]
+		t.Logf("\n##### %s (WWT err %.1f)\n", q.String(), res.Errors[MethodWWT])
+		for ti, tb := range res.Tables {
+			gtRel := res.GT.Relevant[tb.ID]
+			pRel := wl.Relevant(ti)
+			if gtRel == pRel {
+				continue
+			}
+			kind := "FP"
+			if gtRel {
+				kind = "FN"
+			}
+			t.Logf("%s %s dom=%s hdr=%d gt=%v wwt=%v indep=%v\n",
+				kind, tb.ID, r.Corpus.DomainOf[tb.ID], tb.NumHeaderRows(),
+				res.GT.Labels[tb.ID], wl.Y[ti], wm.Y[ti])
+			if kind == "FP" {
+				for c := 0; c < tb.NumCols() && c < 5; c++ {
+					hdr := ""
+					for hr := 0; hr < tb.NumHeaderRows(); hr++ {
+						hdr += tb.Header(hr, c) + "/"
+					}
+					t.Logf("   col%d hdr=%-28q", c, hdr)
+					for ell := 0; ell < q.Q(); ell++ {
+						t.Logf(" Q%d(s%.2f,n%.2f)", ell+1,
+							res.Model.Feats[ti][c][ell].SegSim, res.Model.Node[ti][c][ell])
+					}
+					t.Logf(" nr=%.2f R=%.2f\n", res.Model.Node[ti][c][core.NR(q.Q())], res.Model.Rel[ti])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"testing"
+
+	"wwt/internal/core"
+	"wwt/internal/corpusgen"
+)
+
+// TestDiagnosePerQuery prints per-query WWT/Basic errors with prediction
+// vs truth counts; a development aid kept as a skipped-by-default test.
+func TestDiagnosePerQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	r, err := NewRunner(corpusgen.Config{Seed: 2012}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%-55s %5s %5s | %6s %6s | %5s %5s %5s\n",
+		"query", "cand", "rel", "Basic", "WWT", "pRel", "gReal", "pReal")
+	for _, q := range r.Queries {
+		res := r.Run(q)
+		wl := res.Labelings[MethodWWT]
+		pRel, pReal, gReal := 0, 0, 0
+		for ti := range res.Tables {
+			if wl.Relevant(ti) {
+				pRel++
+			}
+			for _, y := range wl.Y[ti] {
+				if y >= 0 && y < q.Q() {
+					pReal++
+				}
+			}
+		}
+		for _, tb := range res.Tables {
+			for _, y := range res.GT.Labels[tb.ID] {
+				if y >= 0 && y < q.Q() {
+					gReal++
+				}
+			}
+		}
+		t.Logf("%-55s %5d %5d | %6.1f %6.1f | %5d %5d %5d\n",
+			q.String(), len(res.Tables), res.GT.RelevantCount(),
+			res.Errors[MethodBasic], res.Errors[MethodWWT], pRel, gReal, pReal)
+	}
+	_ = core.NA
+}

@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"wwt/internal/core"
+	"wwt/internal/corpusgen"
+	"wwt/internal/workload"
+	"wwt/internal/wtable"
+)
+
+func mkTable(id string, cols int) *wtable.Table {
+	t := &wtable.Table{ID: id}
+	row := wtable.Row{}
+	for c := 0; c < cols; c++ {
+		row.Cells = append(row.Cells, wtable.Cell{Text: "x"})
+	}
+	t.BodyRows = []wtable.Row{row}
+	return t
+}
+
+func TestTruthForRelevance(t *testing.T) {
+	q := workload.Query{ID: 1, Columns: []string{"country", "currency"}, Keys: []string{"country", "currency"}}
+	tables := []*wtable.Table{mkTable("full", 3), mkTable("keyonly", 2), mkTable("second", 2), mkTable("unknown", 2)}
+	ledger := map[string][]string{
+		"full":    {"country", "currency", ""},
+		"keyonly": {"country", "gdp"},
+		"second":  {"gdp", "currency"},
+	}
+	gt := TruthFor(q, tables, ledger)
+	if !gt.Relevant["full"] {
+		t.Error("full table should be relevant")
+	}
+	if gt.Relevant["keyonly"] {
+		t.Error("key-only table violates min-match, must be irrelevant")
+	}
+	if gt.Relevant["second"] {
+		t.Error("table without first query column violates must-match")
+	}
+	if gt.Relevant["unknown"] {
+		t.Error("unledgered table must be irrelevant")
+	}
+	want := []int{0, 1, core.NA(2)}
+	for i, w := range want {
+		if gt.Labels["full"][i] != w {
+			t.Errorf("full labels = %v, want %v", gt.Labels["full"], want)
+		}
+	}
+	for _, y := range gt.Labels["keyonly"] {
+		if y != core.NR(2) {
+			t.Errorf("keyonly labels = %v, want all nr", gt.Labels["keyonly"])
+		}
+	}
+}
+
+func TestF1ErrorExactAndEmpty(t *testing.T) {
+	q := workload.Query{ID: 1, Columns: []string{"a", "b"}, Keys: []string{"ka", "kb"}}
+	tables := []*wtable.Table{mkTable("t", 2)}
+	gt := TruthFor(q, tables, map[string][]string{"t": {"ka", "kb"}})
+	perfect := gt.Labeling(tables)
+	if e := F1Error(perfect, tables, gt); e != 0 {
+		t.Errorf("perfect labeling error = %f", e)
+	}
+	allNR := core.NewLabeling(2, []int{2})
+	if e := F1Error(allNR, tables, gt); math.Abs(e-100) > 1e-9 {
+		t.Errorf("all-miss error = %f, want 100", e)
+	}
+	// Empty prediction and truth: 0 error.
+	gtEmpty := TruthFor(q, tables, nil)
+	if e := F1Error(allNR, tables, gtEmpty); e != 0 {
+		t.Errorf("empty/empty error = %f, want 0", e)
+	}
+}
+
+func TestF1ErrorPartial(t *testing.T) {
+	q := workload.Query{ID: 1, Columns: []string{"a", "b"}, Keys: []string{"ka", "kb"}}
+	tables := []*wtable.Table{mkTable("t", 2)}
+	gt := TruthFor(q, tables, map[string][]string{"t": {"ka", "kb"}})
+	// Predict only the first column correctly, second as na — violates
+	// nothing for scoring purposes: C=1, P=1, G=2 -> error = 100(1-2/3).
+	l := core.NewLabeling(2, []int{2})
+	l.Y[0][0] = 0
+	l.Y[0][1] = core.NA(2)
+	want := 100 * (1 - 2.0/3.0)
+	if e := F1Error(l, tables, gt); math.Abs(e-want) > 1e-9 {
+		t.Errorf("partial error = %f, want %f", e, want)
+	}
+}
+
+func TestRowSetError(t *testing.T) {
+	if e := RowSetError([]string{"a", "b"}, []string{"a", "b"}); e != 0 {
+		t.Errorf("identical rows error = %f", e)
+	}
+	if e := RowSetError(nil, nil); e != 0 {
+		t.Errorf("empty error = %f", e)
+	}
+	if e := RowSetError([]string{"a"}, []string{"b"}); math.Abs(e-100) > 1e-9 {
+		t.Errorf("disjoint error = %f, want 100", e)
+	}
+	// Duplicate predictions must not double-count.
+	e := RowSetError([]string{"a", "a"}, []string{"a"})
+	want := 100 * (1 - 2.0/3.0)
+	if math.Abs(e-want) > 1e-9 {
+		t.Errorf("dup error = %f, want %f", e, want)
+	}
+}
+
+func TestEasyHardAndGroups(t *testing.T) {
+	mk := func(id int, basic, others float64) *QueryResult {
+		return &QueryResult{
+			Query: workload.Query{ID: id},
+			Errors: map[string]float64{
+				MethodBasic: basic, MethodNbrText: others,
+				MethodPMI2: others, MethodWWT: others,
+			},
+		}
+	}
+	var results []*QueryResult
+	results = append(results, mk(1, 50, 50)) // easy: all equal
+	for i := 0; i < 14; i++ {
+		results = append(results, mk(i+2, float64(90-i*5), 10))
+	}
+	easy, hard := EasyHard(results)
+	if len(easy) != 1 || len(hard) != 14 {
+		t.Fatalf("easy/hard = %d/%d, want 1/14", len(easy), len(hard))
+	}
+	groups := Groups(hard)
+	if len(groups) != 7 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// Basic error must be non-increasing across groups.
+	prev := math.Inf(1)
+	total := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Fatal("empty group")
+		}
+		total += len(g)
+		b := MeanError(g, MethodBasic)
+		if b > prev+1e-9 {
+			t.Errorf("groups not ordered by Basic error: %f after %f", b, prev)
+		}
+		prev = b
+	}
+	if total != 14 {
+		t.Errorf("group sizes sum to %d", total)
+	}
+}
+
+func TestRunnerSmokeAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run")
+	}
+	r, err := NewRunner(corpusgen.Config{Seed: 99, Scale: 0.25, JunkPages: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for name, f := range map[string]func(*testing.T){
+		"table1": func(t *testing.T) { ExperimentTable1(&buf, r) },
+		"probe2": func(t *testing.T) { ExperimentProbe2(&buf, r) },
+		"fig5":   func(t *testing.T) { ExperimentFig5(&buf, r) },
+		"fig6":   func(t *testing.T) { ExperimentFig6(&buf, r) },
+		"fig7":   func(t *testing.T) { ExperimentFig7(&buf, r) },
+		"fig8":   func(t *testing.T) { ExperimentFig8(&buf, r) },
+		"table2": func(t *testing.T) { ExperimentTable2(&buf, r) },
+		"abl-e":  func(t *testing.T) { ExperimentAblationEdges(&buf, r) },
+		"abl-p":  func(t *testing.T) { ExperimentAblationProbe2(&buf, r) },
+		"abl-m":  func(t *testing.T) { ExperimentAblationMutex(&buf, r) },
+	} {
+		t.Run(name, f)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 5", "Figure 6", "Figure 7", "Figure 8", "Table 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment output missing %q", want)
+		}
+	}
+}
+
+func TestRunnerCachesResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run")
+	}
+	r, err := NewRunner(corpusgen.Config{Seed: 99, Scale: 0.25, JunkPages: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Run(r.Queries[0])
+	b := r.Run(r.Queries[0])
+	if a != b {
+		t.Error("Run should cache per query ID")
+	}
+}

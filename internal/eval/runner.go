@@ -1,0 +1,208 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wwt"
+	"wwt/internal/baseline"
+	"wwt/internal/consolidate"
+	"wwt/internal/core"
+	"wwt/internal/corpusgen"
+	"wwt/internal/extract"
+	"wwt/internal/inference"
+	"wwt/internal/workload"
+	"wwt/internal/wtable"
+)
+
+// Method names used across the experiment tables.
+const (
+	MethodBasic   = "Basic"
+	MethodNbrText = "NbrText"
+	MethodPMI2    = "PMI2"
+	MethodWWT     = "WWT"
+	MethodUnseg   = "WWT-unseg"
+)
+
+// QueryResult caches everything measured for one workload query.
+type QueryResult struct {
+	Query      workload.Query
+	Tables     []*wtable.Table
+	GT         GroundTruth
+	UsedProbe2 bool
+	Timings    wwt.Timings
+	// Model is the assembled graphical model (kept for diagnostics and
+	// ablation benches).
+	Model *core.Model
+
+	// Labelings and F1 errors per method; inference-algorithm variants are
+	// stored under their Algorithm.String() names.
+	Labelings map[string]core.Labeling
+	Errors    map[string]float64
+	// InferenceTime per collective algorithm (for Table 2's ratios).
+	InferenceTime map[string]time.Duration
+}
+
+// Runner owns a generated corpus, its index, and the per-query caches.
+type Runner struct {
+	Corpus  *corpusgen.Corpus
+	Tables  []*wtable.Table
+	Engine  *wwt.Engine
+	Queries []workload.Query
+
+	results map[int]*QueryResult
+}
+
+// NewRunner generates the corpus, extracts and indexes it, and prepares
+// the workload. opts may be nil for wwt.DefaultOptions.
+func NewRunner(cfg corpusgen.Config, opts *wwt.Options) (*Runner, error) {
+	corpus := corpusgen.Generate(cfg)
+	tables := corpus.ExtractAll(extract.NewOptions())
+	eng, err := wwt.NewEngine(tables, opts)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	return &Runner{
+		Corpus:  corpus,
+		Tables:  tables,
+		Engine:  eng,
+		Queries: workload.FromCorpus(corpus),
+		results: make(map[int]*QueryResult),
+	}, nil
+}
+
+// CandidatesFor returns the candidate tables and ground truth for a query
+// without evaluating any method (used by training).
+func (r *Runner) CandidatesFor(q workload.Query) ([]*wtable.Table, GroundTruth) {
+	tables, _, err := r.Engine.Candidates(wwt.Query{Columns: q.Columns}, nil)
+	if err != nil {
+		tables = nil
+	}
+	return tables, TruthFor(q, tables, r.Corpus.Truth)
+}
+
+// Run evaluates one query with every method and caches the result.
+func (r *Runner) Run(q workload.Query) *QueryResult {
+	if cached, ok := r.results[q.ID]; ok {
+		return cached
+	}
+	res := &QueryResult{
+		Query:         q,
+		Labelings:     make(map[string]core.Labeling),
+		Errors:        make(map[string]float64),
+		InferenceTime: make(map[string]time.Duration),
+	}
+	wq := wwt.Query{Columns: q.Columns}
+	tables, used2, err := r.Engine.Candidates(wq, &res.Timings)
+	if err != nil {
+		tables = nil
+	}
+	res.Tables = tables
+	res.UsedProbe2 = used2
+	res.GT = TruthFor(q, tables, r.Corpus.Truth)
+
+	// Baselines.
+	cfg := baseline.DefaultConfig()
+	pmi := r.Engine.PMISource()
+	for _, bm := range []baseline.Method{baseline.Basic, baseline.NbrText, baseline.PMI2} {
+		l := baseline.Solve(bm, cfg, q.Columns, tables, r.Engine.Index, pmi)
+		res.Labelings[bm.String()] = l
+		res.Errors[bm.String()] = F1Error(l, tables, res.GT)
+	}
+
+	// WWT model once; all five inference algorithms on it.
+	start := time.Now()
+	builder := &core.Builder{Params: r.Engine.Opts.Params, Stats: r.Engine.Index, PMI: pmi}
+	m := builder.Build(q.Columns, tables)
+	res.Model = m
+	buildTime := time.Since(start)
+	for _, alg := range inference.Algorithms {
+		st := time.Now()
+		l := inference.Solve(m, alg)
+		res.InferenceTime[alg.String()] = time.Since(st)
+		res.Labelings[alg.String()] = l
+		res.Errors[alg.String()] = F1Error(l, tables, res.GT)
+	}
+	res.Timings.ColumnMap = buildTime + res.InferenceTime[inference.TableCentric.String()]
+	// WWT == the table-centric labeling (the paper's default).
+	res.Labelings[MethodWWT] = res.Labelings[inference.TableCentric.String()]
+	res.Errors[MethodWWT] = res.Errors[inference.TableCentric.String()]
+
+	// Unsegmented ablation (§5.2).
+	unsegParams := r.Engine.Opts.Params
+	unsegParams.Unsegmented = true
+	ub := &core.Builder{Params: unsegParams, Stats: r.Engine.Index, PMI: pmi}
+	um := ub.Build(q.Columns, tables)
+	ul := inference.Solve(um, inference.TableCentric)
+	res.Labelings[MethodUnseg] = ul
+	res.Errors[MethodUnseg] = F1Error(ul, tables, res.GT)
+
+	// Consolidation timing for Fig. 7.
+	start = time.Now()
+	_ = consolidate.Consolidate(q.Q(), tables, res.Labelings[MethodWWT], m.Conf, m.Rel, consolidate.NewOptions())
+	res.Timings.Consolidate = time.Since(start)
+
+	r.results[q.ID] = res
+	return res
+}
+
+// RunAll evaluates the whole workload.
+func (r *Runner) RunAll() []*QueryResult {
+	out := make([]*QueryResult, len(r.Queries))
+	for i, q := range r.Queries {
+		out[i] = r.Run(q)
+	}
+	return out
+}
+
+// EasyHard splits results per §5: a query is easy when all four headline
+// methods land within 0.5% of each other.
+func EasyHard(results []*QueryResult) (easy, hard []*QueryResult) {
+	for _, res := range results {
+		lo, hi := 1e18, -1e18
+		for _, m := range []string{MethodBasic, MethodNbrText, MethodPMI2, MethodWWT} {
+			e := res.Errors[m]
+			if e < lo {
+				lo = e
+			}
+			if e > hi {
+				hi = e
+			}
+		}
+		if hi-lo <= 0.5 {
+			easy = append(easy, res)
+		} else {
+			hard = append(hard, res)
+		}
+	}
+	return easy, hard
+}
+
+// Groups bins the hard queries into seven groups by descending Basic
+// error, mirroring Fig. 5 / Table 2.
+func Groups(hard []*QueryResult) [][]*QueryResult {
+	sorted := append([]*QueryResult(nil), hard...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Errors[MethodBasic] > sorted[j].Errors[MethodBasic]
+	})
+	const n = 7
+	groups := make([][]*QueryResult, n)
+	for i, res := range sorted {
+		g := i * n / len(sorted)
+		groups[g] = append(groups[g], res)
+	}
+	return groups
+}
+
+// MeanError averages a method's error over a result set.
+func MeanError(results []*QueryResult, method string) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Errors[method]
+	}
+	return sum / float64(len(results))
+}

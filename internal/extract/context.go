@@ -1,0 +1,153 @@
+package extract
+
+import (
+	"sort"
+	"strings"
+
+	"wwt/internal/htmlx"
+	"wwt/internal/wtable"
+)
+
+// contextSnippets implements §2.1.2: the context of a table T is every text
+// node x that is a sibling of a node on the path from T to the document
+// root. Each snippet is scored from (1) the edge distance in the DOM
+// between x and T, with left siblings (text before the table) weighted
+// above right siblings, and (2) the relative frequency in the document of
+// the formatting tags wrapping x — rare emphasis (an h2 on a page full of
+// plain text) is a stronger signal than ubiquitous formatting.
+func contextSnippets(doc *htmlx.Node, tnode *htmlx.Node, maxSnippets int) []wtable.Snippet {
+	tagFreq := formatTagFrequency(doc)
+	path := tnode.PathToRoot()
+	onPath := make(map[*htmlx.Node]bool, len(path))
+	for _, n := range path {
+		onPath[n] = true
+	}
+
+	var snips []wtable.Snippet
+	// Walk up the path; at each ancestor, examine the siblings of the path
+	// member below it.
+	for depth := 0; depth < len(path)-1; depth++ {
+		child := path[depth]
+		parent := path[depth+1]
+		idx := parent.ChildIndex(child)
+		if idx < 0 {
+			continue
+		}
+		for sibIdx, sib := range parent.Children {
+			if sib == child || onPath[sib] {
+				continue
+			}
+			txt, fmtScore := siblingText(sib, tagFreq)
+			if txt == "" {
+				continue
+			}
+			dist := float64(depth + abs(sibIdx-idx))
+			side := 1.0
+			if sibIdx > idx {
+				side = 0.8 // text after the table is a weaker descriptor
+			}
+			score := side * fmtScore / (1 + dist)
+			snips = append(snips, wtable.Snippet{Text: txt, Score: score})
+		}
+	}
+	// The page title is always context, with a strong prior.
+	if t := doc.FindFirst("title"); t != nil {
+		if txt := t.InnerText(); txt != "" {
+			snips = append(snips, wtable.Snippet{Text: txt, Score: 1.0})
+		}
+	}
+	sort.SliceStable(snips, func(i, j int) bool { return snips[i].Score > snips[j].Score })
+	if len(snips) > maxSnippets {
+		snips = snips[:maxSnippets]
+	}
+	return snips
+}
+
+// siblingText extracts the visible text of a sibling subtree (bounded) and
+// the formatting boost of the strongest format tag it contains.
+func siblingText(n *htmlx.Node, tagFreq map[string]int) (string, float64) {
+	if n.Type == htmlx.TextNode {
+		return clip(strings.TrimSpace(n.Text), 240), 0.5
+	}
+	if n.Type != htmlx.ElementNode {
+		return "", 0
+	}
+	switch n.Tag {
+	case "script", "style", "table", "form", "nav", "footer":
+		return "", 0
+	}
+	txt := clip(n.InnerText(), 240)
+	if txt == "" {
+		return "", 0
+	}
+	best := 0.5
+	n.Walk(func(d *htmlx.Node) {
+		if d.Type != htmlx.ElementNode {
+			return
+		}
+		if w, ok := formatTagWeight(d.Tag, tagFreq); ok && w > best {
+			best = w
+		}
+	})
+	if w, ok := formatTagWeight(n.Tag, tagFreq); ok && w > best {
+		best = w
+	}
+	return txt, best
+}
+
+// formatTags are the emphasis tags whose document-relative frequency feeds
+// the snippet score.
+var formatTags = map[string]bool{
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"b": true, "strong": true, "i": true, "em": true, "u": true,
+	"caption": true, "cite": true,
+}
+
+func formatTagFrequency(doc *htmlx.Node) map[string]int {
+	freq := make(map[string]int)
+	total := 0
+	doc.Walk(func(n *htmlx.Node) {
+		if n.Type == htmlx.ElementNode {
+			total++
+			if formatTags[n.Tag] {
+				freq[n.Tag]++
+			}
+		}
+	})
+	freq["__total__"] = total
+	return freq
+}
+
+// formatTagWeight maps a format tag to a score in (0.5, 1]: rarer tags in
+// this document score higher.
+func formatTagWeight(tag string, freq map[string]int) (float64, bool) {
+	if !formatTags[tag] {
+		return 0, false
+	}
+	n := freq[tag]
+	if n == 0 {
+		n = 1
+	}
+	// 1/(1+log-ish falloff): 1 occurrence -> 1.0, 10 -> ~0.67, 100 -> ~0.5.
+	w := 0.5 + 0.5/float64(1+(n-1)/4)
+	return w, true
+}
+
+func clip(s string, n int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) <= n {
+		return s
+	}
+	cut := s[:n]
+	if sp := strings.LastIndexByte(cut, ' '); sp > n/2 {
+		cut = cut[:sp]
+	}
+	return cut
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,142 @@
+package graph
+
+import "math"
+
+// Assignment solves the generalized maximum-weight bipartite matching of
+// §4.2.1: left nodes with capacities capL, right nodes with capacities
+// capR, edge weights w[i][j], maximize the total weight of a matching that
+// saturates every node up to its capacity. The reduction balances the two
+// sides with a dummy node (cost-0 edges) and runs min-cost max-flow.
+//
+// The solved Assignment retains its residual graph so MaxMarginals can
+// answer "best total weight when left i is forced to right j" queries in
+// one Bellman-Ford per right node (§4.2.3, Fig. 3).
+type Assignment struct {
+	nL, nR int
+	w      [][]float64
+
+	g       *MCMF
+	edgeIDs [][]int // left i, right j -> MCMF edge id (-1 when absent)
+	// node numbering inside g
+	s, t       int
+	leftBase   int
+	rightBase  int
+	dummyLeft  int // -1 when absent
+	dummyRight int // -1 when absent
+	// results
+	Total  float64 // sum of w over matched real pairs
+	MatchL []int   // for each left node: matched right node, or -1
+}
+
+// SolveAssignment builds and solves the matching problem. w must be
+// nL x nR; capacities must be positive. Entries of w may be negative
+// (they participate like any weight); use math.Inf(-1) to forbid a pair.
+func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
+	nL, nR := len(capL), len(capR)
+	a := &Assignment{nL: nL, nR: nR, w: w, dummyLeft: -1, dummyRight: -1}
+
+	sumL, sumR := 0, 0
+	for _, c := range capL {
+		sumL += c
+	}
+	for _, c := range capR {
+		sumR += c
+	}
+	// Node layout: s, t, lefts, (dummy left), rights, (dummy right).
+	extraL, extraR := 0, 0
+	if sumR > sumL {
+		extraL = 1
+	} else if sumL > sumR {
+		extraR = 1
+	}
+	n := 2 + nL + extraL + nR + extraR
+	a.s, a.t = 0, 1
+	a.leftBase = 2
+	a.rightBase = 2 + nL + extraL
+	g := NewMCMF(n)
+	a.g = g
+
+	for i, c := range capL {
+		g.AddEdge(a.s, a.leftBase+i, c, 0)
+	}
+	if extraL == 1 {
+		a.dummyLeft = a.leftBase + nL
+		g.AddEdge(a.s, a.dummyLeft, sumR-sumL, 0)
+	}
+	for j, c := range capR {
+		g.AddEdge(a.rightBase+j, a.t, c, 0)
+	}
+	if extraR == 1 {
+		a.dummyRight = a.rightBase + nR
+		g.AddEdge(a.dummyRight, a.t, sumL-sumR, 0)
+	}
+
+	a.edgeIDs = make([][]int, nL)
+	for i := 0; i < nL; i++ {
+		a.edgeIDs[i] = make([]int, nR)
+		for j := 0; j < nR; j++ {
+			if math.IsInf(w[i][j], -1) {
+				a.edgeIDs[i][j] = -1
+				continue
+			}
+			c := capL[i]
+			if capR[j] < c {
+				c = capR[j]
+			}
+			a.edgeIDs[i][j] = g.AddEdge(a.leftBase+i, a.rightBase+j, c, -w[i][j])
+		}
+		if a.dummyRight >= 0 {
+			g.AddEdge(a.leftBase+i, a.dummyRight, capL[i], 0)
+		}
+	}
+	if a.dummyLeft >= 0 {
+		for j := 0; j < nR; j++ {
+			g.AddEdge(a.dummyLeft, a.rightBase+j, capR[j], 0)
+		}
+	}
+
+	_, cost := g.Run(a.s, a.t)
+	a.Total = -cost
+	a.MatchL = make([]int, nL)
+	for i := range a.MatchL {
+		a.MatchL[i] = -1
+		for j := 0; j < nR; j++ {
+			if a.edgeIDs[i][j] >= 0 && g.EdgeFlow(a.edgeIDs[i][j]) > 0 {
+				a.MatchL[i] = j
+				break
+			}
+		}
+	}
+	return a
+}
+
+// MaxMarginals returns mu[i][j]: the maximum total matching weight under
+// the constraint that left i is matched to right j, computed as
+// Opt - d(j, i) - cost(i, j) over the final residual graph (Fig. 3).
+// Forbidden or unreachable pairs yield -Inf.
+func (a *Assignment) MaxMarginals() [][]float64 {
+	mu := make([][]float64, a.nL)
+	for i := range mu {
+		mu[i] = make([]float64, a.nR)
+	}
+	for j := 0; j < a.nR; j++ {
+		dist := a.g.ResidualShortestFrom(a.rightBase + j)
+		for i := 0; i < a.nL; i++ {
+			if a.edgeIDs[i][j] == -1 {
+				mu[i][j] = math.Inf(-1)
+				continue
+			}
+			if a.MatchL[i] == j {
+				mu[i][j] = a.Total
+				continue
+			}
+			d := dist[a.leftBase+i]
+			if math.IsInf(d, 1) {
+				mu[i][j] = math.Inf(-1)
+				continue
+			}
+			mu[i][j] = a.Total - d - (-a.w[i][j])
+		}
+	}
+	return mu
+}

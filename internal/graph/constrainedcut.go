@@ -1,0 +1,96 @@
+package graph
+
+// ConstrainedMinCut solves the constrained minimum s-t cut problem of §4.3
+// (Fig. 4): given a flow network, disjoint vertex groups V1..VT, and for
+// each group vertex the id of its s→v edge, find a small s-t cut such that
+// at most one vertex of each group lies on the t side.
+//
+// The unconstrained problem is solved first. While some group has more
+// than one member on the t side, the algorithm evaluates, for every member
+// v of every violated group, the additional flow needed when all *other*
+// t-side members of that group are pinned to the s side (via infinite
+// s→u capacity); it commits the (group, survivor) choice with the minimum
+// additional flow and repeats. The paper shows this is a factor-2
+// approximation; each iteration permanently satisfies one group, so the
+// loop runs at most len(groups) times.
+//
+// g is mutated (flow pushed, capacities raised). The returned slice marks
+// the t side of the final cut.
+func ConstrainedMinCut(g *FlowGraph, s, t int, groups [][]int, sEdge map[int]int) []bool {
+	g.MaxFlow(s, t)
+	tSide := complement(g.SSide(s))
+
+	for iter := 0; iter <= len(groups); iter++ {
+		violated := violatedGroups(groups, tSide)
+		if len(violated) == 0 {
+			return tSide
+		}
+		bestFlow := Inf
+		bestGroup, bestKeep := -1, -1
+		for _, gi := range violated {
+			members := tMembers(groups[gi], tSide)
+			for _, keep := range members {
+				extra := pinnedExtraFlow(g, s, t, members, keep, sEdge)
+				if extra < bestFlow {
+					bestFlow = extra
+					bestGroup, bestKeep = gi, keep
+				}
+			}
+		}
+		if bestGroup < 0 {
+			return tSide
+		}
+		// Commit: pin all t-side members of the chosen group except the
+		// survivor, push the extra flow, recompute the cut.
+		for _, u := range tMembers(groups[bestGroup], tSide) {
+			if u == bestKeep {
+				continue
+			}
+			g.RaiseCap(sEdge[u], Inf)
+		}
+		g.MaxFlow(s, t)
+		tSide = complement(g.SSide(s))
+	}
+	return tSide
+}
+
+// pinnedExtraFlow computes, on a clone, the additional max flow when every
+// member except keep is pinned to the s side.
+func pinnedExtraFlow(g *FlowGraph, s, t int, members []int, keep int, sEdge map[int]int) float64 {
+	c := g.Clone()
+	for _, u := range members {
+		if u == keep {
+			continue
+		}
+		c.RaiseCap(sEdge[u], Inf)
+	}
+	return c.MaxFlow(s, t)
+}
+
+func violatedGroups(groups [][]int, tSide []bool) []int {
+	var out []int
+	for i, grp := range groups {
+		if len(tMembers(grp, tSide)) > 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func tMembers(group []int, tSide []bool) []int {
+	var out []int
+	for _, v := range group {
+		if tSide[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func complement(side []bool) []bool {
+	out := make([]bool, len(side))
+	for i, b := range side {
+		out[i] = !b
+	}
+	return out
+}

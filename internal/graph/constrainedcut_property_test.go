@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cutCost evaluates the s-t cut implied by tSide on the ORIGINAL edge
+// capacities: sum of capacities of edges from the s side to the t side.
+func cutCost(edges [][3]float64, tSide []bool) float64 {
+	var cost float64
+	for _, e := range edges {
+		u, v, w := int(e[0]), int(e[1]), e[2]
+		if !tSide[u] && tSide[v] {
+			cost += w
+		}
+	}
+	return cost
+}
+
+// bruteConstrainedCut enumerates all s-t cuts over the variable nodes
+// respecting "at most one per group on the t side" and returns the
+// minimum cost.
+func bruteConstrainedCut(nVars int, edges [][3]float64, groups [][]int) float64 {
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<nVars; mask++ {
+		tSide := make([]bool, nVars+2)
+		tSide[1] = true // t node
+		ok := true
+		for i := 0; i < nVars; i++ {
+			tSide[2+i] = mask&(1<<i) != 0
+		}
+		for _, g := range groups {
+			cnt := 0
+			for _, v := range g {
+				if tSide[v] {
+					cnt++
+				}
+			}
+			if cnt > 1 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if c := cutCost(edges, tSide); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// TestConstrainedCutWithinFactorTwo checks, on random small instances,
+// that the Fig. 4 algorithm returns a feasible cut within the claimed
+// factor-2 of the optimal constrained cut.
+func TestConstrainedCutWithinFactorTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 2 + rng.Intn(5)
+		// Node ids: s=0, t=1, vars 2..nVars+1.
+		var edges [][3]float64
+		g := NewFlowGraph(nVars + 2)
+		sEdge := map[int]int{}
+		for i := 0; i < nVars; i++ {
+			v := 2 + i
+			a := 1 + rng.Float64()*9
+			b := 1 + rng.Float64()*9
+			sEdge[v] = g.AddEdge(0, v, a)
+			g.AddEdge(v, 1, b)
+			edges = append(edges, [3]float64{0, float64(v), a}, [3]float64{float64(v), 1, b})
+		}
+		// A few inter-variable edges.
+		for k := 0; k < rng.Intn(4); k++ {
+			u := 2 + rng.Intn(nVars)
+			v := 2 + rng.Intn(nVars)
+			if u == v {
+				continue
+			}
+			w := rng.Float64() * 5
+			g.AddEdge(u, v, w)
+			edges = append(edges, [3]float64{float64(u), float64(v), w})
+		}
+		// Groups: partition the variables into 1-2 groups.
+		var groups [][]int
+		if nVars >= 2 && rng.Intn(2) == 0 {
+			cut := 1 + rng.Intn(nVars-1)
+			var g1, g2 []int
+			for i := 0; i < nVars; i++ {
+				if i < cut {
+					g1 = append(g1, 2+i)
+				} else {
+					g2 = append(g2, 2+i)
+				}
+			}
+			groups = [][]int{g1, g2}
+		} else {
+			var g1 []int
+			for i := 0; i < nVars; i++ {
+				g1 = append(g1, 2+i)
+			}
+			groups = [][]int{g1}
+		}
+
+		tSide := ConstrainedMinCut(g, 0, 1, groups, sEdge)
+		// Feasibility.
+		for gi, grp := range groups {
+			cnt := 0
+			for _, v := range grp {
+				if tSide[v] {
+					cnt++
+				}
+			}
+			if cnt > 1 {
+				t.Fatalf("trial %d: group %d has %d on t side", trial, gi, cnt)
+			}
+		}
+		got := cutCost(edges, tSide)
+		opt := bruteConstrainedCut(nVars, edges, groups)
+		if got > 2*opt+1e-6 {
+			t.Fatalf("trial %d: cut %f exceeds 2x optimal %f", trial, got, opt)
+		}
+	}
+}
+
+// TestMCMFLargeBoostRegression guards against the float-precision hang:
+// large constants added to edge costs must not spin the SPFA search.
+func TestMCMFLargeBoostRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		nL := 2 + rng.Intn(6)
+		nR := nL + rng.Intn(3)
+		capL := make([]int, nL)
+		for i := range capL {
+			capL[i] = 1
+		}
+		capR := make([]int, nR)
+		for j := range capR {
+			capR[j] = 1
+		}
+		w := make([][]float64, nL)
+		for i := range w {
+			w[i] = make([]float64, nR)
+			for j := range w[i] {
+				w[i][j] = rng.Float64()*3 - 1
+				if j == 0 {
+					w[i][j] += 1e4 // the must-match boost pattern
+				}
+			}
+		}
+		sol := SolveAssignment(capL, capR, w) // must terminate
+		if sol.Total < 1e4-10 {
+			t.Fatalf("trial %d: boost not captured, total %f", trial, sol.Total)
+		}
+		sol.MaxMarginals() // must terminate too
+	}
+}

@@ -1,0 +1,151 @@
+// Package graph implements the combinatorial machinery behind WWT's
+// inference algorithms: a min-cost max-flow solver (successive shortest
+// paths with Bellman-Ford, §4.2.2), the generalized maximum-weight
+// bipartite matching reduction of §4.2.1 with residual-graph max-marginal
+// queries (§4.2.3, Fig. 3), a Dinic max-flow/min-cut solver for expansion
+// moves, and the constrained minimum s-t cut of Fig. 4.
+package graph
+
+import "math"
+
+// Inf is the effectively-infinite cost/capacity used to encode hard
+// constraints without overflowing float64 arithmetic.
+const Inf = 1e15
+
+// MCMF is a min-cost max-flow network with integer capacities and float64
+// costs. Edges are stored in pairs: edge i and i^1 are mutual reverses.
+type MCMF struct {
+	n    int
+	to   []int32
+	capa []int32
+	cost []float64
+	adj  [][]int32 // node -> edge ids
+}
+
+// NewMCMF returns an empty network on n nodes (0..n-1).
+func NewMCMF(n int) *MCMF {
+	return &MCMF{n: n, adj: make([][]int32, n)}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity and per-unit
+// cost, plus the implicit zero-capacity reverse edge. It returns the edge
+// id; EdgeFlow(id) reads its flow after Run.
+func (g *MCMF) AddEdge(u, v, capacity int, cost float64) int {
+	id := len(g.to)
+	g.to = append(g.to, int32(v), int32(u))
+	g.capa = append(g.capa, int32(capacity), 0)
+	g.cost = append(g.cost, cost, -cost)
+	g.adj[u] = append(g.adj[u], int32(id))
+	g.adj[v] = append(g.adj[v], int32(id+1))
+	return id
+}
+
+// EdgeFlow returns the flow currently on edge id (the capacity accumulated
+// by its reverse edge).
+func (g *MCMF) EdgeFlow(id int) int { return int(g.capa[id^1]) }
+
+// costEps is the relaxation threshold of the shortest-path searches.
+// Successive shortest paths can leave hair-thin "negative cycles" in the
+// residual graph purely from floating-point cancellation (costs combine
+// user potentials with large constraint boosts); relaxations below this
+// threshold are noise and must not loop forever.
+const costEps = 1e-7
+
+// Run pushes the maximum flow from s to t at minimum total cost using
+// successive shortest paths found with Bellman-Ford (negative edge costs
+// are allowed; the input must not contain negative cycles, which holds for
+// all reductions in this repo). It returns the total flow and its cost.
+func (g *MCMF) Run(s, t int) (int, float64) {
+	totalFlow := 0
+	totalCost := 0.0
+	dist := make([]float64, g.n)
+	inQueue := make([]bool, g.n)
+	prevEdge := make([]int32, g.n)
+	for {
+		// SPFA variant of Bellman-Ford over positive-residual edges. The
+		// pop budget is a defensive bound: float noise cannot spin it.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		queue := []int32{int32(s)}
+		inQueue[s] = true
+		budget := 50 * (g.n + 1) * (len(g.to) + 1)
+		for len(queue) > 0 && budget > 0 {
+			budget--
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for _, id := range g.adj[u] {
+				if g.capa[id] <= 0 {
+					continue
+				}
+				v := g.to[id]
+				nd := dist[u] + g.cost[id]
+				if nd < dist[v]-costEps {
+					dist[v] = nd
+					prevEdge[v] = id
+					if !inQueue[v] {
+						inQueue[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			return totalFlow, totalCost
+		}
+		// Bottleneck along the path.
+		push := int32(math.MaxInt32)
+		for v := int32(t); v != int32(s); {
+			id := prevEdge[v]
+			if g.capa[id] < push {
+				push = g.capa[id]
+			}
+			v = g.to[id^1]
+		}
+		for v := int32(t); v != int32(s); {
+			id := prevEdge[v]
+			g.capa[id] -= push
+			g.capa[id^1] += push
+			v = g.to[id^1]
+		}
+		totalFlow += int(push)
+		totalCost += float64(push) * dist[t]
+	}
+}
+
+// ResidualShortestFrom runs Bellman-Ford from src over the residual graph
+// (edges with positive remaining capacity) and returns the distance to
+// every node (+Inf when unreachable). This is the Fig. 3 primitive for
+// max-marginals.
+func (g *MCMF) ResidualShortestFrom(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	// Plain Bellman-Ford: n-1 relaxation rounds with early exit.
+	for round := 0; round < g.n-1; round++ {
+		changed := false
+		for id := 0; id < len(g.to); id++ {
+			if g.capa[id] <= 0 {
+				continue
+			}
+			u := g.to[id^1]
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			v := g.to[id]
+			if nd := dist[u] + g.cost[id]; nd < dist[v]-costEps {
+				dist[v] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}

@@ -1,0 +1,77 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsQuick feeds Parse pseudo-random markup soup; it
+// must always return a tree without panicking and never lose track of
+// nesting (InnerText must terminate).
+func TestParseNeverPanicsQuick(t *testing.T) {
+	fragments := []string{
+		"<table>", "</table>", "<tr>", "<td>", "</td>", "<th>", "text",
+		"<b>", "</i>", "<!--", "-->", "<", ">", "&amp;", "<img src=x>",
+		"<script>", "</script>", "<a href='", "'>", "</", "<div class=\"x\">",
+		"<!DOCTYPE html>", "\n", "  ", "<p", "<td", "=\"", "<table",
+	}
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(fragments[int(p)%len(fragments)])
+		}
+		doc := Parse(b.String())
+		_ = doc.InnerText()
+		_ = doc.Find("table")
+		_ = doc.FindFirst("td")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseTreeParentConsistencyQuick: every child's Parent pointer must
+// point at the node holding it.
+func TestParseTreeParentConsistencyQuick(t *testing.T) {
+	inputs := []string{
+		"<table><tr><td>a<td>b<tr><td>c</table>",
+		"<div><p>x<p>y</div><ul><li>1<li>2</ul>",
+		"<table><tr><td><table><tr><td>i</table></td></tr></table>",
+		"<html><body><h1>t</h1><table><tr><th>h</th></tr><tr><td>v</td></tr></table></body></html>",
+	}
+	for _, in := range inputs {
+		doc := Parse(in)
+		var check func(n *Node) bool
+		check = func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					return false
+				}
+				if !check(c) {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(doc) {
+			t.Errorf("parent pointers inconsistent for %q", in)
+		}
+	}
+}
+
+// TestUnescapeIdempotent: unescaping twice equals unescaping once for
+// strings without entity-producing sequences.
+func TestUnescapeIdempotent(t *testing.T) {
+	cases := []string{"Fish & Chips", "a &lt; b", "&amp;amp;", "plain", "&nbsp;x"}
+	for _, c := range cases {
+		once := Unescape(c)
+		if strings.ContainsAny(once, "&") && strings.Contains(once, "&amp;") {
+			continue // &amp;amp; legitimately unescapes in two steps
+		}
+		if twice := Unescape(once); twice != once && !strings.Contains(c, "&amp;") {
+			t.Errorf("Unescape not stable on %q: %q -> %q", c, once, twice)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package htmlx
+
+import "strings"
+
+// voidElements never take children and need no closing tag.
+var voidElements = map[string]bool{
+	"br": true, "hr": true, "img": true, "input": true, "meta": true,
+	"link": true, "col": true, "area": true, "base": true, "embed": true,
+	"source": true, "track": true, "wbr": true, "param": true,
+}
+
+// rawTextElements swallow everything until their literal closing tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// autoClose lists, for an opening tag, the tags that an open element must
+// have closed before it can start. This captures the HTML permissive-markup
+// rules that matter for tables, lists and paragraphs.
+var autoClose = map[string][]string{
+	"tr":     {"td", "th", "tr"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"tbody":  {"td", "th", "tr", "thead", "tbody", "tfoot"},
+	"thead":  {"td", "th", "tr", "thead", "tbody", "tfoot"},
+	"tfoot":  {"td", "th", "tr", "thead", "tbody", "tfoot"},
+	"li":     {"li"},
+	"p":      {"p"},
+	"option": {"option"},
+	"dt":     {"dd", "dt"},
+	"dd":     {"dd", "dt"},
+}
+
+// scopeBarriers stop the auto-close upward scan; a new <tr> must not close
+// a <td> of an *outer* table.
+var scopeBarriers = map[string]bool{"table": true, "html": true, "body": true}
+
+// Parse builds a DOM tree from raw HTML. It never fails: malformed markup
+// degrades to best-effort structure, mirroring how browsers and crawlers
+// treat the open web.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	p := &parser{src: src, stack: []*Node{doc}}
+	p.run()
+	return doc
+}
+
+type parser struct {
+	src   string
+	pos   int
+	stack []*Node
+}
+
+func (p *parser) top() *Node { return p.stack[len(p.stack)-1] }
+
+func (p *parser) run() {
+	for p.pos < len(p.src) {
+		lt := strings.IndexByte(p.src[p.pos:], '<')
+		if lt < 0 {
+			p.addText(p.src[p.pos:])
+			return
+		}
+		if lt > 0 {
+			p.addText(p.src[p.pos : p.pos+lt])
+		}
+		p.pos += lt
+		p.parseTag()
+	}
+}
+
+func (p *parser) addText(t string) {
+	if strings.TrimSpace(t) == "" {
+		return
+	}
+	p.top().appendChild(&Node{Type: TextNode, Text: Unescape(t)})
+}
+
+// parseTag consumes one construct starting at '<'.
+func (p *parser) parseTag() {
+	s := p.src
+	i := p.pos
+	if strings.HasPrefix(s[i:], "<!--") {
+		end := strings.Index(s[i+4:], "-->")
+		if end < 0 {
+			p.pos = len(s)
+			return
+		}
+		p.top().appendChild(&Node{Type: CommentNode, Text: s[i+4 : i+4+end]})
+		p.pos = i + 4 + end + 3
+		return
+	}
+	if strings.HasPrefix(s[i:], "<!") || strings.HasPrefix(s[i:], "<?") {
+		// DOCTYPE / processing instruction: skip to '>'.
+		end := strings.IndexByte(s[i:], '>')
+		if end < 0 {
+			p.pos = len(s)
+			return
+		}
+		p.pos = i + end + 1
+		return
+	}
+	if strings.HasPrefix(s[i:], "</") {
+		end := strings.IndexByte(s[i:], '>')
+		if end < 0 {
+			p.pos = len(s)
+			return
+		}
+		name := strings.ToLower(strings.TrimSpace(s[i+2 : i+end]))
+		p.pos = i + end + 1
+		p.closeTag(name)
+		return
+	}
+	// Opening tag.
+	end := strings.IndexByte(s[i:], '>')
+	if end < 0 {
+		// Treat a stray '<' with no closing '>' as text.
+		p.addText(s[i:])
+		p.pos = len(s)
+		return
+	}
+	inner := s[i+1 : i+end]
+	selfClose := strings.HasSuffix(inner, "/")
+	if selfClose {
+		inner = inner[:len(inner)-1]
+	}
+	name, attrs := parseTagBody(inner)
+	p.pos = i + end + 1
+	if name == "" {
+		return
+	}
+	p.openTag(name, attrs, selfClose)
+}
+
+func (p *parser) openTag(name string, attrs map[string]string, selfClose bool) {
+	if closers, ok := autoClose[name]; ok {
+		p.autoCloseFor(closers)
+	}
+	n := &Node{Type: ElementNode, Tag: name, Attrs: attrs}
+	p.top().appendChild(n)
+	if selfClose || voidElements[name] {
+		return
+	}
+	if rawTextElements[name] {
+		p.consumeRawText(n, name)
+		return
+	}
+	p.stack = append(p.stack, n)
+}
+
+// consumeRawText swallows content until </name>.
+func (p *parser) consumeRawText(n *Node, name string) {
+	closeTag := "</" + name
+	rest := strings.ToLower(p.src[p.pos:])
+	idx := strings.Index(rest, closeTag)
+	if idx < 0 {
+		p.pos = len(p.src)
+		return
+	}
+	raw := p.src[p.pos : p.pos+idx]
+	if strings.TrimSpace(raw) != "" {
+		n.appendChild(&Node{Type: TextNode, Text: raw})
+	}
+	gt := strings.IndexByte(p.src[p.pos+idx:], '>')
+	if gt < 0 {
+		p.pos = len(p.src)
+		return
+	}
+	p.pos += idx + gt + 1
+}
+
+// autoCloseFor pops open elements matching any of tags, stopping at scope
+// barriers.
+func (p *parser) autoCloseFor(tags []string) {
+	for len(p.stack) > 1 {
+		t := p.top().Tag
+		if scopeBarriers[t] {
+			return
+		}
+		match := false
+		for _, x := range tags {
+			if t == x {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return
+		}
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+}
+
+// closeTag handles </name>: pop to the nearest matching open element; a
+// close tag with no matching open element is ignored.
+func (p *parser) closeTag(name string) {
+	for i := len(p.stack) - 1; i >= 1; i-- {
+		if p.stack[i].Tag == name {
+			p.stack = p.stack[:i]
+			return
+		}
+		// Do not let a stray close tag cross a table boundary.
+		if scopeBarriers[p.stack[i].Tag] && p.stack[i].Tag != name {
+			return
+		}
+	}
+}
+
+// parseTagBody splits "name k=v k2='v2' k3" into the lowercase tag name and
+// attribute map.
+func parseTagBody(s string) (string, map[string]string) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", nil
+	}
+	nameEnd := len(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r' {
+			nameEnd = i
+			break
+		}
+	}
+	name := strings.ToLower(s[:nameEnd])
+	rest := s[nameEnd:]
+	var attrs map[string]string
+	i := 0
+	for i < len(rest) {
+		for i < len(rest) && isSpace(rest[i]) {
+			i++
+		}
+		if i >= len(rest) {
+			break
+		}
+		keyStart := i
+		for i < len(rest) && rest[i] != '=' && !isSpace(rest[i]) {
+			i++
+		}
+		key := strings.ToLower(rest[keyStart:i])
+		val := ""
+		for i < len(rest) && isSpace(rest[i]) {
+			i++
+		}
+		if i < len(rest) && rest[i] == '=' {
+			i++
+			for i < len(rest) && isSpace(rest[i]) {
+				i++
+			}
+			if i < len(rest) && (rest[i] == '"' || rest[i] == '\'') {
+				q := rest[i]
+				i++
+				vStart := i
+				for i < len(rest) && rest[i] != q {
+					i++
+				}
+				val = rest[vStart:i]
+				if i < len(rest) {
+					i++
+				}
+			} else {
+				vStart := i
+				for i < len(rest) && !isSpace(rest[i]) {
+					i++
+				}
+				val = rest[vStart:i]
+			}
+		}
+		if key != "" {
+			if attrs == nil {
+				attrs = make(map[string]string)
+			}
+			attrs[key] = Unescape(val)
+		}
+	}
+	return name, attrs
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+// entity replacements for the handful of entities that occur in practice in
+// table cells; numeric entities are left untouched (tokenization treats them
+// as separators anyway).
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`,
+	"&apos;", "'", "&nbsp;", " ", "&#39;", "'", "&#34;", `"`,
+	"&ndash;", "–", "&mdash;", "—",
+)
+
+// Unescape resolves common HTML entities in s.
+func Unescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}

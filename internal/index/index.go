@@ -1,0 +1,296 @@
+// Package index is the repo's Lucene substitute (§2.1): every extracted web
+// table is indexed as a document with three analyzed text fields — header,
+// context and content — carrying relative boosts 2, 1.5 and 1. It supports
+// the union-of-keywords probes used by WWT's two-stage retrieval, exposes
+// corpus statistics (IDF) to the feature code, and serves the sorted
+// document sets that the PMI² feature intersects. Indexes and table stores
+// persist to disk with encoding/gob.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wwt/internal/text"
+	"wwt/internal/wtable"
+)
+
+// Field identifies one of the three indexed fields.
+type Field int
+
+// The three fields of a table document.
+const (
+	FieldHeader Field = iota
+	FieldContext
+	FieldContent
+	numFields
+)
+
+// Boosts are the per-field match boosts from §2.1: header 2, context 1.5,
+// content 1.
+var Boosts = [numFields]float64{2.0, 1.5, 1.0}
+
+// String names the field.
+func (f Field) String() string {
+	switch f {
+	case FieldHeader:
+		return "header"
+	case FieldContext:
+		return "context"
+	case FieldContent:
+		return "content"
+	}
+	return fmt.Sprintf("field(%d)", int(f))
+}
+
+// Posting is one (document, term-frequency) pair. Exported for gob.
+type Posting struct {
+	Doc int32
+	TF  float32
+}
+
+// Index is an inverted index over table documents.
+type Index struct {
+	ids      []string
+	byID     map[string]int32
+	postings [numFields]map[string][]Posting
+	fieldLen [numFields][]float32 // per-doc analyzed token counts
+	df       map[string]int       // union document frequency (any field)
+}
+
+// New returns an empty index.
+func New() *Index {
+	ix := &Index{
+		byID: make(map[string]int32),
+		df:   make(map[string]int),
+	}
+	for f := range ix.postings {
+		ix.postings[f] = make(map[string][]Posting)
+	}
+	return ix
+}
+
+// FieldTokens analyzes one table into its three field token bags. This is
+// the single point deciding what text lands in which field: titles and page
+// titles join the context field; header rows form the header field; body
+// cells form the content field.
+func FieldTokens(t *wtable.Table) [numFields][]string {
+	var out [numFields][]string
+	for _, r := range t.HeaderRows {
+		for _, c := range r.Cells {
+			out[FieldHeader] = append(out[FieldHeader], text.Normalize(c.Text)...)
+		}
+	}
+	ctx := t.TitleText() + " " + t.PageTitle
+	out[FieldContext] = append(out[FieldContext], text.Normalize(ctx)...)
+	for _, s := range t.Context {
+		out[FieldContext] = append(out[FieldContext], text.Normalize(s.Text)...)
+	}
+	for _, r := range t.BodyRows {
+		for _, c := range r.Cells {
+			out[FieldContent] = append(out[FieldContent], text.Normalize(c.Text)...)
+		}
+	}
+	return out
+}
+
+// Add indexes one table. Adding a duplicate ID is an error.
+func (ix *Index) Add(t *wtable.Table) error {
+	if _, dup := ix.byID[t.ID]; dup {
+		return fmt.Errorf("index: duplicate table ID %q", t.ID)
+	}
+	doc := int32(len(ix.ids))
+	ix.ids = append(ix.ids, t.ID)
+	ix.byID[t.ID] = doc
+
+	fields := FieldTokens(t)
+	seenAnywhere := make(map[string]bool)
+	for f := 0; f < int(numFields); f++ {
+		tf := make(map[string]int)
+		for _, tok := range fields[f] {
+			tf[tok]++
+			seenAnywhere[tok] = true
+		}
+		ix.fieldLen[f] = append(ix.fieldLen[f], float32(len(fields[f])))
+		for tok, n := range tf {
+			ix.postings[f][tok] = append(ix.postings[f][tok], Posting{Doc: doc, TF: float32(n)})
+		}
+	}
+	for tok := range seenAnywhere {
+		ix.df[tok]++
+	}
+	return nil
+}
+
+// Build constructs an index over tables; it fails on duplicate IDs.
+func Build(tables []*wtable.Table) (*Index, error) {
+	ix := New()
+	for _, t := range tables {
+		if err := ix.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// IDOf returns the table ID of an internal doc number.
+func (ix *Index) IDOf(doc int32) string { return ix.ids[doc] }
+
+// DocOf returns the internal doc number of a table ID.
+func (ix *Index) DocOf(id string) (int32, bool) {
+	d, ok := ix.byID[id]
+	return d, ok
+}
+
+// IDF returns the smoothed inverse document frequency of a token over the
+// whole corpus (union of fields): log(1 + N/(1+df)).
+func (ix *Index) IDF(tok string) float64 {
+	n := len(ix.ids)
+	if n == 0 {
+		return 1
+	}
+	return math.Log(1 + float64(n)/float64(1+ix.df[tok]))
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Search runs a union-of-keywords (OR) query over all three fields with the
+// standard boosted TF-IDF score
+//
+//	score(d) = Σ_f boost_f Σ_{t∈q} (1+ln tf) · idf(t) / sqrt(len_f(d))
+//
+// and returns the top k hits by score (all hits when k <= 0). tokens must
+// already be analyzed (text.Normalize).
+func (ix *Index) Search(tokens []string, k int) []Hit {
+	if len(tokens) == 0 || len(ix.ids) == 0 {
+		return nil
+	}
+	uniq := dedup(tokens)
+	scores := make(map[int32]float64)
+	for _, tok := range uniq {
+		idf := ix.IDF(tok)
+		for f := 0; f < int(numFields); f++ {
+			for _, p := range ix.postings[f][tok] {
+				l := float64(ix.fieldLen[f][p.Doc])
+				if l < 1 {
+					l = 1
+				}
+				w := Boosts[f] * (1 + math.Log(float64(p.TF))) * idf / math.Sqrt(l)
+				scores[p.Doc] += w
+			}
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for d, s := range scores {
+		hits = append(hits, Hit{ID: ix.ids[d], Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// DocsWithToken returns the sorted doc set containing tok in any of the
+// given fields.
+func (ix *Index) DocsWithToken(tok string, fields ...Field) []int32 {
+	var merged []int32
+	for _, f := range fields {
+		for _, p := range ix.postings[f][tok] {
+			merged = append(merged, p.Doc)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	return dedupInt32(merged)
+}
+
+// DocSet returns the sorted set of documents containing *all* tokens, each
+// in at least one of the given fields. Used by PMI²: H(Qℓ) is
+// DocSet(Qℓ, header, context); B(cell) is DocSet(cellTokens, content).
+func (ix *Index) DocSet(tokens []string, fields ...Field) []int32 {
+	uniq := dedup(tokens)
+	if len(uniq) == 0 {
+		return nil
+	}
+	// Start from the rarest token for cheap intersections.
+	sort.Slice(uniq, func(i, j int) bool { return ix.df[uniq[i]] < ix.df[uniq[j]] })
+	set := ix.DocsWithToken(uniq[0], fields...)
+	for _, tok := range uniq[1:] {
+		if len(set) == 0 {
+			return nil
+		}
+		set = intersectSorted(set, ix.DocsWithToken(tok, fields...))
+	}
+	return set
+}
+
+// IntersectSize returns |a ∩ b| for two sorted doc sets.
+func IntersectSize(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func dedup(toks []string) []string {
+	seen := make(map[string]bool, len(toks))
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func dedupInt32(xs []int32) []int32 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wwt/internal/wtable"
+)
+
+var propWords = []string{
+	"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+}
+
+func randDocTable(r *rand.Rand, id int) *wtable.Table {
+	t := &wtable.Table{ID: fmt.Sprintf("t%d", id)}
+	pick := func(n int) string {
+		s := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += " "
+			}
+			s += propWords[r.Intn(len(propWords))]
+		}
+		return s
+	}
+	if r.Intn(3) > 0 {
+		t.HeaderRows = []wtable.Row{{Cells: []wtable.Cell{{Text: pick(2)}, {Text: pick(1)}}}}
+	}
+	rows := 1 + r.Intn(4)
+	for i := 0; i < rows; i++ {
+		t.BodyRows = append(t.BodyRows, wtable.Row{Cells: []wtable.Cell{{Text: pick(1)}, {Text: pick(2)}}})
+	}
+	if r.Intn(2) == 0 {
+		t.Context = []wtable.Snippet{{Text: pick(3), Score: 1}}
+	}
+	return t
+}
+
+// bruteScore recomputes the Search score for one document directly from
+// the definition.
+func bruteScore(ix *Index, tables []*wtable.Table, doc int, tokens []string) float64 {
+	fields := FieldTokens(tables[doc])
+	var score float64
+	seen := map[string]bool{}
+	for _, tok := range tokens {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		idf := ix.IDF(tok)
+		for f := 0; f < int(numFields); f++ {
+			tf := 0
+			for _, w := range fields[f] {
+				if w == tok {
+					tf++
+				}
+			}
+			if tf == 0 {
+				continue
+			}
+			l := float64(len(fields[f]))
+			if l < 1 {
+				l = 1
+			}
+			score += Boosts[f] * (1 + math.Log(float64(tf))) * idf / math.Sqrt(l)
+		}
+	}
+	return score
+}
+
+// TestSearchMatchesBruteForceQuick: the inverted index must produce
+// exactly the scores of a linear scan.
+func TestSearchMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		tables := make([]*wtable.Table, n)
+		for i := range tables {
+			tables[i] = randDocTable(r, i)
+		}
+		ix, err := Build(tables)
+		if err != nil {
+			return false
+		}
+		query := []string{propWords[r.Intn(len(propWords))], propWords[r.Intn(len(propWords))]}
+		hits := ix.Search(query, 0)
+		got := map[string]float64{}
+		for _, h := range hits {
+			got[h.ID] = h.Score
+		}
+		for doc := 0; doc < n; doc++ {
+			want := bruteScore(ix, tables, doc, query)
+			if want == 0 {
+				if _, ok := got[tables[doc].ID]; ok {
+					return false
+				}
+				continue
+			}
+			if math.Abs(got[tables[doc].ID]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDocSetSubsetOfUnionQuick: DocSet(tokens) ⊆ DocsWithToken(t) for
+// every t, and is sorted strictly ascending.
+func TestDocSetSubsetOfUnionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		tables := make([]*wtable.Table, n)
+		for i := range tables {
+			tables[i] = randDocTable(r, i)
+		}
+		ix, err := Build(tables)
+		if err != nil {
+			return false
+		}
+		toks := []string{propWords[r.Intn(len(propWords))], propWords[r.Intn(len(propWords))]}
+		set := ix.DocSet(toks, FieldContent)
+		for i := 1; i < len(set); i++ {
+			if set[i] <= set[i-1] {
+				return false
+			}
+		}
+		for _, tok := range toks {
+			union := ix.DocsWithToken(tok, FieldContent)
+			if IntersectSize(set, union) != len(set) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

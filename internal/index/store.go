@@ -1,0 +1,144 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"wwt/internal/wtable"
+)
+
+// Store is the table store of Figure 2: it keeps the raw extracted tables
+// addressable by ID so that the online pipeline can read the candidates a
+// probe returns. Insertion order is preserved for deterministic iteration.
+type Store struct {
+	byID  map[string]*wtable.Table
+	order []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{byID: make(map[string]*wtable.Table)} }
+
+// Add inserts a table; duplicate IDs are an error.
+func (s *Store) Add(t *wtable.Table) error {
+	if t == nil || t.ID == "" {
+		return fmt.Errorf("store: table without ID")
+	}
+	if _, dup := s.byID[t.ID]; dup {
+		return fmt.Errorf("store: duplicate table ID %q", t.ID)
+	}
+	s.byID[t.ID] = t
+	s.order = append(s.order, t.ID)
+	return nil
+}
+
+// Get returns the table with the given ID.
+func (s *Store) Get(id string) (*wtable.Table, bool) {
+	t, ok := s.byID[id]
+	return t, ok
+}
+
+// Len returns the number of stored tables.
+func (s *Store) Len() int { return len(s.order) }
+
+// All returns all tables in insertion order. The slice is fresh; the tables
+// are shared.
+func (s *Store) All() []*wtable.Table {
+	out := make([]*wtable.Table, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.byID[id]
+	}
+	return out
+}
+
+// storeSnapshot is the gob wire form of a Store.
+type storeSnapshot struct {
+	Tables []*wtable.Table
+}
+
+// Save writes the store to path.
+func (s *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store save: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(storeSnapshot{Tables: s.All()}); err != nil {
+		return fmt.Errorf("store save: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadStore reads a store previously written by Save.
+func LoadStore(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store load: %w", err)
+	}
+	defer f.Close()
+	var snap storeSnapshot
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store load: %w", err)
+	}
+	s := NewStore()
+	for _, t := range snap.Tables {
+		if err := s.Add(t); err != nil {
+			return nil, fmt.Errorf("store load: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// indexSnapshot is the gob wire form of an Index.
+type indexSnapshot struct {
+	IDs      []string
+	Postings [numFields]map[string][]Posting
+	FieldLen [numFields][]float32
+	DF       map[string]int
+}
+
+// Save writes the index to path.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
+	defer f.Close()
+	snap := indexSnapshot{IDs: ix.ids, Postings: ix.postings, FieldLen: ix.fieldLen, DF: ix.df}
+	if err := gob.NewEncoder(f).Encode(snap); err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads an index previously written by Save.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index load: %w", err)
+	}
+	defer f.Close()
+	var snap indexSnapshot
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("index load: %w", err)
+	}
+	ix := &Index{
+		ids:      snap.IDs,
+		byID:     make(map[string]int32, len(snap.IDs)),
+		postings: snap.Postings,
+		fieldLen: snap.FieldLen,
+		df:       snap.DF,
+	}
+	for i, id := range snap.IDs {
+		ix.byID[id] = int32(i)
+	}
+	for fi := range ix.postings {
+		if ix.postings[fi] == nil {
+			ix.postings[fi] = make(map[string][]Posting)
+		}
+	}
+	if ix.df == nil {
+		ix.df = make(map[string]int)
+	}
+	return ix, nil
+}

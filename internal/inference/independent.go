@@ -1,0 +1,137 @@
+package inference
+
+import (
+	"wwt/internal/core"
+	"wwt/internal/graph"
+)
+
+// mustMatchBoost is the large constant M1 of §4.1 added to label-1 edges
+// so the highest-scoring relevant labeling always covers the first query
+// column. It dwarfs any achievable potential mass (node potentials are
+// O(1) per column, tables have tens of columns) without eating the float64
+// mantissa — adding 1e7-scale constants to O(1) costs would leave the
+// min-cost-flow solver comparing path costs below its noise floor.
+const mustMatchBoost = 1e4
+
+// SolveIndependent labels every table independently and optimally (§4.1),
+// ignoring cross-table edge potentials.
+func SolveIndependent(m *core.Model) core.Labeling {
+	l := core.NewLabeling(m.NumQ, m.Cols())
+	for ti := range m.Views {
+		l.Y[ti] = solveTableMAP(m, ti, m.Node[ti])
+	}
+	return l
+}
+
+// solveTableMAP runs the §4.1 reduction for one table with (possibly
+// modified) node potentials: a generalized bipartite matching with
+// capacity-1 label nodes, an na node of capacity nt-m, the M1 boost on the
+// first query column, and a final comparison against the all-nr labeling.
+func solveTableMAP(m *core.Model, ti int, node [][]float64) []int {
+	q := m.NumQ
+	nt := m.Views[ti].NumCols
+	mm := m.Params.MinMatch(q)
+
+	var nrScore float64
+	for c := 0; c < nt; c++ {
+		nrScore += node[c][core.NR(q)]
+	}
+	allNR := make([]int, nt)
+	for c := range allNR {
+		allNR[c] = core.NR(q)
+	}
+	// A table narrower than m can never satisfy min-match: irrelevant.
+	if nt < mm {
+		return allNR
+	}
+
+	capL := ones(nt)
+	capR := make([]int, q+1)
+	for j := 0; j < q; j++ {
+		capR[j] = 1
+	}
+	capR[q] = nt - mm
+	w := make([][]float64, nt)
+	for c := 0; c < nt; c++ {
+		w[c] = make([]float64, q+1)
+		for j := 0; j < q; j++ {
+			w[c][j] = node[c][j]
+			if j == 0 {
+				w[c][j] += mustMatchBoost
+			}
+		}
+		w[c][q] = node[c][core.NA(q)]
+	}
+	sol := graph.SolveAssignment(capL, capR, w)
+	relevantScore := sol.Total - mustMatchBoost
+
+	if relevantScore <= nrScore {
+		return allNR
+	}
+	labels := make([]int, nt)
+	for c := 0; c < nt; c++ {
+		j := sol.MatchL[c]
+		if j < 0 || j == q {
+			labels[c] = core.NA(q)
+		} else {
+			labels[c] = j
+		}
+	}
+	return labels
+}
+
+// repairTableConstraints re-solves any table whose labeling violates a
+// hard constraint (used as post-processing by the edge-centric methods,
+// §4.3). The repaired labeling is the per-table optimum of the node
+// potentials.
+func repairTableConstraints(m *core.Model, l core.Labeling) core.Labeling {
+	q := m.NumQ
+	for ti := range m.Views {
+		if !tableFeasible(m, ti, l.Y[ti], q) {
+			l.Y[ti] = solveTableMAP(m, ti, m.Node[ti])
+		}
+	}
+	return l
+}
+
+// tableFeasible checks all four table constraints for one table.
+func tableFeasible(m *core.Model, ti int, labels []int, q int) bool {
+	nrCount, realCount := 0, 0
+	hasFirst := false
+	seen := make(map[int]bool, len(labels))
+	for _, y := range labels {
+		switch {
+		case y == core.NR(q):
+			nrCount++
+		case y >= 0 && y < q:
+			if seen[y] {
+				return false // mutex
+			}
+			seen[y] = true
+			realCount++
+			if y == 0 {
+				hasFirst = true
+			}
+		}
+	}
+	if nrCount != 0 && nrCount != len(labels) {
+		return false // all-Irr
+	}
+	if nrCount == 0 {
+		if !hasFirst {
+			return false // must-match
+		}
+		if realCount < m.Params.MinMatch(q) {
+			return false // min-match
+		}
+	}
+	return true
+}
+
+func ones(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package inference solves the column-mapping MAP problem (Eq. 9), which
+// is NP-hard, with the paper's algorithms (§4):
+//
+//   - Independent: exact per-table inference via generalized maximum-weight
+//     bipartite matching (§4.1); no cross-table edges.
+//   - TableCentric: the paper's best collective method (§4.2) — table-local
+//     max-marginals, softmax distributions, one round of neighbor messages,
+//     re-solve with boosted node potentials.
+//   - AlphaExpansion: edge-centric graph-cut inference (§4.3) with the
+//     mutex constraint enforced through the constrained minimum s-t cut of
+//     Fig. 4 and must/min-match repaired in post-processing.
+//   - BP: loopy max-product belief propagation with mutex and all-Irr
+//     reduced to (dissociative) pairwise potentials.
+//   - TRWS: sequential tree-reweighted message passing on the same model.
+package inference
+
+import (
+	"fmt"
+
+	"wwt/internal/core"
+)
+
+// Algorithm selects a collective inference method.
+type Algorithm int
+
+// Available algorithms.
+const (
+	Independent Algorithm = iota
+	TableCentric
+	AlphaExpansion
+	BP
+	TRWS
+)
+
+// String names the algorithm as in the paper's Table 2.
+func (a Algorithm) String() string {
+	switch a {
+	case Independent:
+		return "None"
+	case TableCentric:
+		return "Table-centric"
+	case AlphaExpansion:
+		return "α-exp"
+	case BP:
+		return "BP"
+	case TRWS:
+		return "TRWS"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists all methods in Table 2 order.
+var Algorithms = []Algorithm{Independent, AlphaExpansion, BP, TRWS, TableCentric}
+
+// Solve runs the chosen algorithm on the model and returns a labeling that
+// satisfies all hard constraints.
+func Solve(m *core.Model, alg Algorithm) core.Labeling {
+	switch alg {
+	case TableCentric:
+		return SolveTableCentric(m)
+	case AlphaExpansion:
+		return SolveAlphaExpansion(m)
+	case BP:
+		return SolveBP(m)
+	case TRWS:
+		return SolveTRWS(m)
+	default:
+		return SolveIndependent(m)
+	}
+}

@@ -1,0 +1,66 @@
+package inference
+
+import "wwt/internal/core"
+
+// tieBreakMsg scales the small additive share of the neighbor message kept
+// on top of the paper's max(msg, θ): max() alone cannot break exact node
+// ties (two query columns sharing their dominant keyword), whereas content
+// overlap can. The term is an order of magnitude below typical potentials,
+// so non-tied decisions are unaffected. This is a documented deviation
+// from the literal §4.2 formula (see DESIGN.md).
+const tieBreakMsg = 0.1
+
+// SolveTableCentric implements the paper's table-centric collective
+// inference (§4.2) in three stages:
+//
+//  1. Per table, compute max-marginals µ_tc(ℓ) under mutex + all-Irr and
+//     normalize them into distributions p_tc(ℓ). (The model precomputes
+//     these — they also gate the edges.)
+//  2. Each column collects messages from its neighbors:
+//     msg(tc,ℓ) = Σ_{t'c' ∈ nbr(tc)} we·nsim(tc,t'c')·p_{t'c'}(ℓ).
+//  3. Per table, re-run the §4.1 matching with node potentials
+//     max(msg(tc,ℓ), θ(tc,ℓ)) + tieBreakMsg·msg(tc,ℓ).
+//
+// Stage 2 only strengthens real query-column labels: edges exist to
+// transfer column identities, never to spread irrelevance.
+func SolveTableCentric(m *core.Model) core.Labeling {
+	q := m.NumQ
+	// Stage 2: messages.
+	msg := make([][][]float64, len(m.Views))
+	for ti, v := range m.Views {
+		msg[ti] = make([][]float64, v.NumCols)
+		for c := range msg[ti] {
+			msg[ti][c] = make([]float64, q)
+		}
+	}
+	for _, e := range m.Edges {
+		for ell := 0; ell < q; ell++ {
+			// WAB already folds in we, nsim(A,B) and B's confidence gate.
+			msg[e.T1][e.C1][ell] += e.WAB * m.Dist[e.T2][e.C2][ell]
+			msg[e.T2][e.C2][ell] += e.WBA * m.Dist[e.T1][e.C1][ell]
+		}
+	}
+
+	// Stage 3: re-solve each table with boosted potentials.
+	l := core.NewLabeling(q, m.Cols())
+	for ti, v := range m.Views {
+		node := make([][]float64, v.NumCols)
+		for c := 0; c < v.NumCols; c++ {
+			node[c] = append([]float64(nil), m.Node[ti][c]...)
+			for ell := 0; ell < q; ell++ {
+				// A zero message means "no neighbor evidence" and must not
+				// override a (possibly negative) node potential.
+				v := msg[ti][c][ell]
+				if v <= 0 {
+					continue
+				}
+				if v > node[c][ell] {
+					node[c][ell] = v
+				}
+				node[c][ell] += tieBreakMsg * v
+			}
+		}
+		l.Y[ti] = solveTableMAP(m, ti, node)
+	}
+	return l
+}

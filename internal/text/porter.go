@@ -1,0 +1,257 @@
+package text
+
+// Porter stemmer (M.F. Porter, "An algorithm for suffix stripping", 1980).
+// This is a faithful, dependency-free implementation of the original five
+// step algorithm. Tokens of length < 3 and tokens containing non-letters
+// are returned unchanged.
+
+type porterWord struct {
+	b []byte
+	// end is the index of the last letter of the current stem (inclusive).
+	end int
+}
+
+func isConsonant(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(w, i-1)
+	}
+	return true
+}
+
+// measure computes m in the [C](VC)^m[V] decomposition of w[0..end].
+func (p *porterWord) measure(end int) int {
+	n, i := 0, 0
+	for {
+		if i > end {
+			return n
+		}
+		if !isConsonant(p.b, i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > end {
+				return n
+			}
+			if isConsonant(p.b, i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > end {
+				return n
+			}
+			if !isConsonant(p.b, i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+func (p *porterWord) hasVowel(end int) bool {
+	for i := 0; i <= end; i++ {
+		if !isConsonant(p.b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleC reports whether w ends in a double consonant at position j.
+func (p *porterWord) doubleC(j int) bool {
+	if j < 1 {
+		return false
+	}
+	if p.b[j] != p.b[j-1] {
+		return false
+	}
+	return isConsonant(p.b, j)
+}
+
+// cvc reports whether the stem ending at i matches consonant-vowel-consonant
+// where the final consonant is not w, x or y.
+func (p *porterWord) cvc(i int) bool {
+	if i < 2 || !isConsonant(p.b, i) || isConsonant(p.b, i-1) || !isConsonant(p.b, i-2) {
+		return false
+	}
+	switch p.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func (p *porterWord) endsWith(s string) bool {
+	l := len(s)
+	if l > p.end+1 {
+		return false
+	}
+	return string(p.b[p.end+1-l:p.end+1]) == s
+}
+
+// setTo replaces the matched suffix of length oldLen with s.
+func (p *porterWord) setTo(oldLen int, s string) {
+	base := p.end + 1 - oldLen
+	p.b = append(p.b[:base], s...)
+	p.end = base + len(s) - 1
+}
+
+// r replaces suffix s (already matched) with repl if measure of the stem
+// before the suffix is > 0.
+func (p *porterWord) r(s, repl string) {
+	if p.measure(p.end-len(s)) > 0 {
+		p.setTo(len(s), repl)
+	}
+}
+
+func (p *porterWord) step1a() {
+	if p.endsWith("sses") {
+		p.setTo(4, "ss")
+	} else if p.endsWith("ies") {
+		p.setTo(3, "i")
+	} else if !p.endsWith("ss") && p.endsWith("s") {
+		p.setTo(1, "")
+	}
+}
+
+func (p *porterWord) step1b() {
+	if p.endsWith("eed") {
+		if p.measure(p.end-3) > 0 {
+			p.setTo(3, "ee")
+		}
+		return
+	}
+	var cut int
+	if p.endsWith("ed") && p.hasVowel(p.end-2) {
+		cut = 2
+	} else if p.endsWith("ing") && p.hasVowel(p.end-3) {
+		cut = 3
+	} else {
+		return
+	}
+	p.setTo(cut, "")
+	switch {
+	case p.endsWith("at"):
+		p.setTo(2, "ate")
+	case p.endsWith("bl"):
+		p.setTo(2, "ble")
+	case p.endsWith("iz"):
+		p.setTo(2, "ize")
+	case p.doubleC(p.end):
+		switch p.b[p.end] {
+		case 'l', 's', 'z':
+		default:
+			p.end--
+			p.b = p.b[:p.end+1]
+		}
+	case p.measure(p.end) == 1 && p.cvc(p.end):
+		p.setTo(0, "e")
+	}
+}
+
+func (p *porterWord) step1c() {
+	if p.endsWith("y") && p.hasVowel(p.end-1) {
+		p.b[p.end] = 'i'
+	}
+}
+
+var step2Rules = []struct{ from, to string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+var step3Rules = []struct{ from, to string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (p *porterWord) step2() {
+	for _, rule := range step2Rules {
+		if p.endsWith(rule.from) {
+			p.r(rule.from, rule.to)
+			return
+		}
+	}
+}
+
+func (p *porterWord) step3() {
+	for _, rule := range step3Rules {
+		if p.endsWith(rule.from) {
+			p.r(rule.from, rule.to)
+			return
+		}
+	}
+}
+
+func (p *porterWord) step4() {
+	for _, s := range step4Suffixes {
+		if !p.endsWith(s) {
+			continue
+		}
+		stemEnd := p.end - len(s)
+		if s == "ion" && stemEnd >= 0 && p.b[stemEnd] != 's' && p.b[stemEnd] != 't' {
+			continue
+		}
+		if p.measure(stemEnd) > 1 {
+			p.setTo(len(s), "")
+		}
+		return
+	}
+}
+
+func (p *porterWord) step5() {
+	if p.endsWith("e") {
+		m := p.measure(p.end - 1)
+		if m > 1 || (m == 1 && !p.cvc(p.end-1)) {
+			p.setTo(1, "")
+		}
+	}
+	if p.endsWith("ll") && p.measure(p.end) > 1 {
+		p.setTo(1, "")
+	}
+}
+
+// Stem returns the Porter stem of tok. tok is expected to be lowercase;
+// tokens shorter than 3 runes or containing non a-z bytes are returned
+// unchanged.
+func Stem(tok string) string {
+	if len(tok) < 3 {
+		return tok
+	}
+	for i := 0; i < len(tok); i++ {
+		if tok[i] < 'a' || tok[i] > 'z' {
+			return tok
+		}
+	}
+	p := &porterWord{b: []byte(tok), end: len(tok) - 1}
+	p.step1a()
+	p.step1b()
+	p.step1c()
+	p.step2()
+	p.step3()
+	p.step4()
+	p.step5()
+	return string(p.b[:p.end+1])
+}

@@ -1,0 +1,261 @@
+package text
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"  multiple   spaces ", []string{"multiple", "spaces"}},
+		{"CO2-emissions (2008)", []string{"co2", "emissions", "2008"}},
+		{"", nil},
+		{"---", nil},
+		{"US$ 4.50", []string{"us", "4", "50"}},
+		{"naïve café", []string{"naïve", "café"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStemKnownPairs(t *testing.T) {
+	// Reference pairs from Porter's original test vocabulary.
+	pairs := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+	}
+	for in, want := range pairs {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonAlpha(t *testing.T) {
+	for _, s := range []string{"ab", "a", "", "x9", "2008", "co2"} {
+		if got := Stem(s); got != s {
+			t.Errorf("Stem(%q) = %q, want unchanged", s, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnStems(t *testing.T) {
+	// Stemming the stem of common nouns should be stable for this sample.
+	for _, s := range []string{"cat", "motor", "fall", "country", "population"} {
+		once := Stem(s)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable: %q -> %q -> %q", s, once, twice)
+		}
+	}
+}
+
+func TestNormalizeDropsStopwords(t *testing.T) {
+	got := Normalize("The population of the United States")
+	want := []string{"popul", "unit", "state"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Normalize = %v, want %v", got, want)
+	}
+}
+
+func TestVocabIDFMonotone(t *testing.T) {
+	v := NewVocab()
+	v.AddDoc([]string{"common", "rare"})
+	v.AddDoc([]string{"common"})
+	v.AddDoc([]string{"common"})
+	if v.IDF("rare") <= v.IDF("common") {
+		t.Errorf("IDF(rare)=%f should exceed IDF(common)=%f", v.IDF("rare"), v.IDF("common"))
+	}
+	if v.IDF("unseen") < v.IDF("rare") {
+		t.Errorf("unseen token should have max IDF")
+	}
+}
+
+func TestVocabAddDocDedup(t *testing.T) {
+	v := NewVocab()
+	v.AddDoc([]string{"x", "x", "x"})
+	if v.DF("x") != 1 {
+		t.Errorf("DF should count documents, not occurrences: got %d", v.DF("x"))
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	v := NewVocab()
+	v.AddDoc([]string{"a", "b"})
+	v.AddDoc([]string{"b", "c"})
+	a := v.VectorOf([]string{"a", "b"})
+	if c := Cosine(a, a); math.Abs(c-1) > 1e-9 {
+		t.Errorf("self cosine = %f, want 1", c)
+	}
+	empty := Vector{}
+	if c := Cosine(a, empty); c != 0 {
+		t.Errorf("cosine with empty = %f, want 0", c)
+	}
+	b := v.VectorOf([]string{"c"})
+	if c := Cosine(a, b); c != 0 {
+		t.Errorf("disjoint cosine = %f, want 0", c)
+	}
+}
+
+func TestCosineSymmetricQuick(t *testing.T) {
+	v := NewVocab()
+	v.AddDoc([]string{"a", "b", "c", "d"})
+	mk := func(bits uint8) Vector {
+		toks := []string{}
+		for i, s := range []string{"a", "b", "c", "d"} {
+			if bits&(1<<i) != 0 {
+				toks = append(toks, s)
+			}
+		}
+		return v.VectorOf(toks)
+	}
+	f := func(x, y uint8) bool {
+		a, b := mk(x%16), mk(y%16)
+		return math.Abs(Cosine(a, b)-Cosine(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineRangeQuick(t *testing.T) {
+	v := NewVocab()
+	words := []string{"w0", "w1", "w2", "w3", "w4", "w5"}
+	v.AddDoc(words)
+	v.AddDoc(words[:3])
+	mk := func(bits uint8) Vector {
+		toks := []string{}
+		for i, s := range words {
+			if bits&(1<<i) != 0 {
+				toks = append(toks, s)
+			}
+		}
+		return v.VectorOf(toks)
+	}
+	f := func(x, y uint8) bool {
+		c := Cosine(mk(x%64), mk(y%64))
+		return c >= -1e-12 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	if j := JaccardTokens([]string{"a", "b"}, []string{"b", "c"}); math.Abs(j-1.0/3) > 1e-9 {
+		t.Errorf("Jaccard = %f, want 1/3", j)
+	}
+	if j := JaccardTokens(nil, []string{"a"}); j != 0 {
+		t.Errorf("Jaccard with empty = %f, want 0", j)
+	}
+	if j := JaccardTokens([]string{"a", "a"}, []string{"a"}); math.Abs(j-1) > 1e-9 {
+		t.Errorf("Jaccard should use sets: got %f", j)
+	}
+}
+
+func TestVectorTopTerms(t *testing.T) {
+	v := NewVocab()
+	v.AddDoc([]string{"common"})
+	v.AddDoc([]string{"common"})
+	v.AddDoc([]string{"common", "rare"})
+	vec := v.VectorOf([]string{"common", "rare"})
+	top := vec.TopTerms(1)
+	if len(top) != 1 || top[0] != "rare" {
+		t.Errorf("TopTerms = %v, want [rare]", top)
+	}
+	if got := vec.TopTerms(10); len(got) != 2 {
+		t.Errorf("TopTerms over-ask = %v", got)
+	}
+}
+
+func TestNormSqMatchesNorm(t *testing.T) {
+	v := NewVocab()
+	v.AddDoc([]string{"a", "b", "c"})
+	vec := v.VectorOf([]string{"a", "b", "b"})
+	if d := math.Abs(vec.NormSq() - vec.Norm()*vec.Norm()); d > 1e-9 {
+		t.Errorf("NormSq inconsistent with Norm: diff %g", d)
+	}
+}

@@ -1,0 +1,174 @@
+package text
+
+import (
+	"math"
+	"sort"
+)
+
+// Vocab accumulates document frequencies over a corpus and converts token
+// bags into TF-IDF vectors. It is the repo-wide stand-in for Lucene's term
+// statistics. Vocab is not safe for concurrent mutation; concurrent reads
+// after construction are fine.
+type Vocab struct {
+	docs int
+	df   map[string]int
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab { return &Vocab{df: make(map[string]int)} }
+
+// AddDoc registers one document's (deduplicated) tokens into the document
+// frequency table.
+func (v *Vocab) AddDoc(tokens []string) {
+	v.docs++
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			v.df[t]++
+		}
+	}
+}
+
+// Docs returns the number of documents registered.
+func (v *Vocab) Docs() int { return v.docs }
+
+// DF returns the document frequency of tok.
+func (v *Vocab) DF(tok string) int { return v.df[tok] }
+
+// IDF returns the smoothed inverse document frequency
+// log(1 + N/(1+df)). Unknown tokens get the maximum IDF.
+func (v *Vocab) IDF(tok string) float64 {
+	n := v.docs
+	if n == 0 {
+		return 1
+	}
+	return math.Log(1 + float64(n)/float64(1+v.df[tok]))
+}
+
+// Vector is a sparse TF-IDF vector keyed by token.
+type Vector map[string]float64
+
+// VectorOf builds the TF-IDF vector of a token bag: tf(t) * idf(t).
+func (v *Vocab) VectorOf(tokens []string) Vector {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	out := make(Vector, len(tf))
+	for t, c := range tf {
+		out[t] = float64(c) * v.IDF(t)
+	}
+	return out
+}
+
+// TI returns the TF-IDF weight of a single occurrence of tok, i.e. the
+// paper's TI(w) with tf = 1.
+func (v *Vocab) TI(tok string) float64 { return v.IDF(tok) }
+
+// Norm returns the L2 norm of the vector.
+func (a Vector) Norm() float64 {
+	var s float64
+	for _, x := range a {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormSq returns the squared L2 norm — the paper's ‖·‖² quantity.
+func (a Vector) NormSq() float64 {
+	var s float64
+	for _, x := range a {
+		s += x * x
+	}
+	return s
+}
+
+// Dot returns the inner product of two sparse vectors.
+func (a Vector) Dot(b Vector) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var s float64
+	for t, x := range a {
+		if y, ok := b[t]; ok {
+			s += x * y
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of two sparse vectors; zero when
+// either vector is empty.
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na * nb)
+}
+
+// CosineTokens is Cosine over raw token bags using vocabulary v.
+func (v *Vocab) CosineTokens(a, b []string) float64 {
+	return Cosine(v.VectorOf(a), v.VectorOf(b))
+}
+
+// NormSqOf returns ‖tokens‖² under v, treating repeated tokens with their
+// term frequency.
+func (v *Vocab) NormSqOf(tokens []string) float64 {
+	return v.VectorOf(tokens).NormSq()
+}
+
+// TopTerms returns up to k tokens of the vector ordered by descending
+// weight (ties broken lexicographically); useful for debugging and for the
+// consolidator's column naming.
+func (a Vector) TopTerms(k int) []string {
+	type tw struct {
+		t string
+		w float64
+	}
+	all := make([]tw, 0, len(a))
+	for t, w := range a {
+		all = append(all, tw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// JaccardTokens returns the Jaccard similarity of two token sets.
+func JaccardTokens(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := make(map[string]bool, len(a))
+	for _, t := range a {
+		sa[t] = true
+	}
+	sb := make(map[string]bool, len(b))
+	for _, t := range b {
+		sb[t] = true
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,39 @@
+package train
+
+import (
+	"testing"
+	"time"
+
+	"wwt/internal/core"
+	"wwt/internal/corpusgen"
+	"wwt/internal/eval"
+)
+
+// TestGridPointTimings guards against pathological weight combinations
+// making the grid search hang; every point must evaluate quickly.
+func TestGridPointTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r, err := eval.NewRunner(corpusgen.Config{Seed: 777, Scale: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := prepare(r, core.DefaultParams())
+	grid := DefaultGrid()
+	for _, w2 := range grid.W2 {
+		for _, w4 := range grid.W4 {
+			for _, w5 := range grid.W5 {
+				for _, we := range grid.We {
+					p := core.DefaultParams()
+					p.W1, p.W2, p.W4, p.W5, p.We = 1.0, w2, w4, w5, we
+					start := time.Now()
+					evalWeights(cases, p)
+					if d := time.Since(start); d > 5*time.Second {
+						t.Errorf("slow grid point w2=%.2f w4=%.2f w5=%.2f we=%.2f: %v", w2, w4, w5, we, d)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package train
+
+import (
+	"testing"
+
+	"wwt/internal/core"
+	"wwt/internal/corpusgen"
+	"wwt/internal/eval"
+)
+
+func smallRunner(t *testing.T) *eval.Runner {
+	t.Helper()
+	r, err := eval.NewRunner(corpusgen.Config{Seed: 55, Scale: 0.2, JunkPages: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestWeightsImproveOrMatchBase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation")
+	}
+	r := smallRunner(t)
+	base := core.DefaultParams()
+	grid := WeightGrid{ // tiny grid for test speed
+		W2: []float64{base.W2},
+		W3: []float64{base.W3},
+		W4: []float64{base.W4, base.W4 * 2},
+		W5: []float64{base.W5},
+		We: []float64{base.We},
+	}
+	cases := prepare(r, base)
+	baseErr := evalWeights(cases, base)
+	_, bestErr := Weights(r, base, grid)
+	if bestErr > baseErr+1e-9 {
+		t.Errorf("grid search returned worse error than base: %f > %f", bestErr, baseErr)
+	}
+}
+
+func TestBaselineThresholdsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation")
+	}
+	r := smallRunner(t)
+	grid := ThresholdGrid{Relevance: []float64{0.2, 0.4}, Column: []float64{0.05}}
+	cfg, err := BaselineThresholds(r, grid)
+	if err < 0 || err > 100 {
+		t.Errorf("error out of range: %f", err)
+	}
+	found := false
+	for _, rel := range grid.Relevance {
+		if cfg.RelevanceThreshold == rel {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("returned threshold %f not from grid", cfg.RelevanceThreshold)
+	}
+}
+
+func TestMeasureReliabilities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation")
+	}
+	r := smallRunner(t)
+	rel := MeasureReliabilities(r, core.DefaultParams())
+	for i, v := range []float64{rel.Title, rel.Context, rel.OtherHeaderRow, rel.OtherHeaderCol, rel.Body} {
+		if v < 0 || v > 1 {
+			t.Errorf("reliability %d out of range: %f", i, v)
+		}
+	}
+	// Context support should exist on this corpus (phrases in context).
+	if rel.Support[1] == 0 {
+		t.Error("no context observations measured")
+	}
+}

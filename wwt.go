@@ -1,0 +1,285 @@
+// Package wwt is the public API of this reproduction of "Answering Table
+// Queries on the Web using Column Keywords" (Pimplikar & Sarawagi, VLDB
+// 2012). It wires the full WWT pipeline of Fig. 2: a boosted multi-field
+// index over extracted web tables, the two-stage index probe of §2.2.1,
+// the graphical-model column mapper of §3 with the inference algorithms of
+// §4, and the consolidator/ranker of §2.2.3.
+//
+// Typical use:
+//
+//	tables := extract.Page(url, html, extract.NewOptions())   // offline
+//	eng, err := wwt.NewEngine(tables, nil)                    // index + store
+//	res, err := eng.Answer(wwt.Query{Columns: []string{
+//	    "name of explorers", "nationality", "areas explored"}})
+//	for _, row := range res.Answer.Rows { ... }
+package wwt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"wwt/internal/consolidate"
+	"wwt/internal/core"
+	"wwt/internal/index"
+	"wwt/internal/inference"
+	"wwt/internal/text"
+	"wwt/internal/wtable"
+)
+
+// Query is a column-keyword query: one keyword set per desired answer
+// column.
+type Query struct {
+	Columns []string
+}
+
+// Options configures an Engine. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// Params are the column-mapper parameters (weights, reliabilities...).
+	Params core.Params
+	// Algorithm selects the collective inference method (§4). The paper's
+	// recommendation — and the default — is the table-centric algorithm.
+	Algorithm inference.Algorithm
+	// ProbeK is the number of candidates fetched per index probe.
+	ProbeK int
+	// SecondProbe enables the content-overlap re-probe of §2.2.1.
+	SecondProbe bool
+	// SecondProbeRows is the number of random rows sampled from confident
+	// tables for the second probe (10 in the paper).
+	SecondProbeRows int
+	// MinConfidentRelevance gates which stage-1 tables seed the second
+	// probe ("very high relevance score").
+	MinConfidentRelevance float64
+	// Consolidate options.
+	Consolidate consolidate.Options
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{
+		Params:                core.DefaultParams(),
+		Algorithm:             inference.TableCentric,
+		ProbeK:                40,
+		SecondProbe:           true,
+		SecondProbeRows:       10,
+		MinConfidentRelevance: 0.75,
+		Consolidate:           consolidate.NewOptions(),
+	}
+}
+
+// Timings is the per-stage running time split of Fig. 7.
+type Timings struct {
+	Probe1      time.Duration
+	Read1       time.Duration
+	Probe2      time.Duration
+	Read2       time.Duration
+	ColumnMap   time.Duration
+	Consolidate time.Duration
+}
+
+// Total sums all stages.
+func (t Timings) Total() time.Duration {
+	return t.Probe1 + t.Read1 + t.Probe2 + t.Read2 + t.ColumnMap + t.Consolidate
+}
+
+// Result is the full outcome of answering a query.
+type Result struct {
+	Answer     *consolidate.Answer
+	Labeling   core.Labeling
+	Tables     []*wtable.Table // candidate tables, in model order
+	Model      *core.Model
+	UsedProbe2 bool
+	Timings    Timings
+}
+
+// Engine answers column-keyword queries over an indexed table corpus.
+type Engine struct {
+	Index *index.Index
+	Store *index.Store
+	Opts  Options
+}
+
+// NewEngine indexes the given tables and returns a ready engine. opts may
+// be nil for DefaultOptions.
+func NewEngine(tables []*wtable.Table, opts *Options) (*Engine, error) {
+	o := DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	ix, err := index.Build(tables)
+	if err != nil {
+		return nil, fmt.Errorf("wwt: %w", err)
+	}
+	st := index.NewStore()
+	for _, t := range tables {
+		if err := st.Add(t); err != nil {
+			return nil, fmt.Errorf("wwt: %w", err)
+		}
+	}
+	return &Engine{Index: ix, Store: st, Opts: o}, nil
+}
+
+// NewEngineFrom wraps an existing index and store (e.g. loaded from disk).
+func NewEngineFrom(ix *index.Index, st *index.Store, opts *Options) *Engine {
+	o := DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	return &Engine{Index: ix, Store: st, Opts: o}
+}
+
+// PMISource exposes the engine's index as the co-occurrence source for the
+// PMI² feature.
+func (e *Engine) PMISource() core.PMISource { return indexPMI{e.Index} }
+
+type indexPMI struct{ ix *index.Index }
+
+func (s indexPMI) HeaderContextDocs(tokens []string) []int32 {
+	return s.ix.DocSet(tokens, index.FieldHeader, index.FieldContext)
+}
+
+func (s indexPMI) ContentDocs(tokens []string) []int32 {
+	return s.ix.DocSet(tokens, index.FieldContent)
+}
+
+// Candidates runs the two-stage index probe of §2.2.1 and returns the
+// candidate tables (deduplicated, first-probe order first). It reports
+// whether the second probe fired and accumulates stage timings.
+func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error) {
+	if len(q.Columns) == 0 {
+		return nil, false, fmt.Errorf("wwt: empty query")
+	}
+	var tokens []string
+	for _, col := range q.Columns {
+		tokens = append(tokens, text.Normalize(col)...)
+	}
+	if len(tokens) == 0 {
+		return nil, false, fmt.Errorf("wwt: query has no content words")
+	}
+	start := time.Now()
+	hits := e.Index.Search(tokens, e.Opts.ProbeK)
+	if tm != nil {
+		tm.Probe1 = time.Since(start)
+	}
+	start = time.Now()
+	tables := e.readTables(hits)
+	if tm != nil {
+		tm.Read1 = time.Since(start)
+	}
+	if !e.Opts.SecondProbe || len(tables) == 0 {
+		return tables, false, nil
+	}
+
+	// Stage 1 mapping to find confident tables.
+	builder := &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource()}
+	m := builder.Build(q.Columns, tables)
+	l := inference.SolveIndependent(m)
+	type scored struct {
+		ti  int
+		rel float64
+	}
+	var confident []scored
+	for ti := range tables {
+		if l.Relevant(ti) && m.Rel[ti] >= e.Opts.MinConfidentRelevance {
+			confident = append(confident, scored{ti, m.Rel[ti]})
+		}
+	}
+	if len(confident) == 0 {
+		return tables, false, nil
+	}
+	// Top-two by relevance.
+	for i := 0; i < len(confident); i++ {
+		for j := i + 1; j < len(confident); j++ {
+			if confident[j].rel > confident[i].rel {
+				confident[i], confident[j] = confident[j], confident[i]
+			}
+		}
+	}
+	if len(confident) > 2 {
+		confident = confident[:2]
+	}
+	// Sample rows deterministically per query.
+	h := fnv.New64a()
+	for _, c := range q.Columns {
+		h.Write([]byte(c))
+	}
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	sample := tokens
+	for _, sc := range confident {
+		tb := tables[sc.ti]
+		rows := tb.NumBodyRows()
+		take := e.Opts.SecondProbeRows
+		if take > rows {
+			take = rows
+		}
+		for _, r := range rng.Perm(rows)[:take] {
+			for c := 0; c < tb.NumCols(); c++ {
+				sample = append(sample, text.Normalize(tb.Body(r, c))...)
+			}
+		}
+	}
+	start = time.Now()
+	hits2 := e.Index.Search(sample, e.Opts.ProbeK)
+	if tm != nil {
+		tm.Probe2 = time.Since(start)
+	}
+	start = time.Now()
+	seen := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		seen[t.ID] = true
+	}
+	for _, t := range e.readTables(hits2) {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			tables = append(tables, t)
+		}
+	}
+	if tm != nil {
+		tm.Read2 = time.Since(start)
+	}
+	return tables, true, nil
+}
+
+func (e *Engine) readTables(hits []index.Hit) []*wtable.Table {
+	out := make([]*wtable.Table, 0, len(hits))
+	for _, h := range hits {
+		if t, ok := e.Store.Get(h.ID); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Answer runs the full pipeline: probes, column mapping with the
+// configured inference algorithm, and consolidation.
+func (e *Engine) Answer(q Query) (*Result, error) {
+	res := &Result{}
+	tables, usedProbe2, err := e.Candidates(q, &res.Timings)
+	if err != nil {
+		return nil, err
+	}
+	res.Tables = tables
+	res.UsedProbe2 = usedProbe2
+
+	start := time.Now()
+	builder := &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource()}
+	m := builder.Build(q.Columns, tables)
+	res.Model = m
+	res.Labeling = inference.Solve(m, e.Opts.Algorithm)
+	res.Timings.ColumnMap = time.Since(start)
+
+	start = time.Now()
+	res.Answer = consolidate.Consolidate(len(q.Columns), tables, res.Labeling, m.Conf, m.Rel, e.Opts.Consolidate)
+	res.Timings.Consolidate = time.Since(start)
+	return res, nil
+}
+
+// MapColumns runs only the column-mapping stage over caller-supplied
+// candidates — the §3 task in isolation, used by the experiments.
+func (e *Engine) MapColumns(q Query, tables []*wtable.Table) (*core.Model, core.Labeling) {
+	builder := &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource()}
+	m := builder.Build(q.Columns, tables)
+	return m, inference.Solve(m, e.Opts.Algorithm)
+}

@@ -1,0 +1,230 @@
+package wwt_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wwt"
+	"wwt/internal/extract"
+	"wwt/internal/index"
+	"wwt/internal/inference"
+	"wwt/internal/wtable"
+)
+
+func smallCorpus(t *testing.T) []*wtable.Table {
+	t.Helper()
+	pages := map[string]string{
+		"http://a.example/currencies": `<html><head><title>Currencies of the world</title></head><body>
+<h1>World currencies by country</h1><p>This article lists currencies of the world.</p>
+<table><tr><th>Country</th><th>Currency</th></tr>
+<tr><td>France</td><td>Euro</td></tr><tr><td>Japan</td><td>Yen</td></tr>
+<tr><td>India</td><td>Indian rupee</td></tr><tr><td>Brazil</td><td>Real</td></tr></table>
+</body></html>`,
+		"http://b.example/bare": `<html><head><title>Data page</title></head><body>
+<table><tr><td>France</td><td>Euro</td></tr><tr><td>Japan</td><td>Yen</td></tr>
+<tr><td>India</td><td>Indian rupee</td></tr><tr><td>Brazil</td><td>Real</td></tr></table>
+</body></html>`,
+		"http://c.example/reserves": `<html><head><title>Forest reserves</title></head><body>
+<p>Forest reserves under the forestry act.</p>
+<table><tr><th>ID</th><th>Name</th><th>Area</th></tr>
+<tr><td>7</td><td>Shakespeare Hills</td><td>2236</td></tr>
+<tr><td>9</td><td>Plains Creek</td><td>880</td></tr></table>
+</body></html>`,
+	}
+	var tables []*wtable.Table
+	for url, html := range pages {
+		tables = append(tables, extract.Page(url, html, extract.NewOptions())...)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("expected 3 tables, got %d", len(tables))
+	}
+	return tables
+}
+
+func TestEngineAnswerEndToEnd(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Answer(wwt.Query{Columns: []string{"country", "currency"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answer.Rows) < 4 {
+		t.Fatalf("answer rows = %d, want >= 4", len(res.Answer.Rows))
+	}
+	// France-Euro must be present with both columns populated.
+	found := false
+	for _, row := range res.Answer.Rows {
+		if row.Cells[0] == "France" && row.Cells[1] == "Euro" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("France/Euro row missing: %v", res.Answer.Rows)
+	}
+	// The reserves table must not contribute.
+	for _, src := range res.Answer.Sources {
+		if strings.Contains(src, "reserves") {
+			t.Errorf("irrelevant table consolidated: %s", src)
+		}
+	}
+	if res.Timings.Total() <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+func TestEngineHeaderlessRecovery(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Answer(wwt.Query{Columns: []string{"country", "currency"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bare-page headerless table shares full content with the headed
+	// one; collective inference must mark it relevant.
+	for ti, tb := range res.Tables {
+		if strings.Contains(tb.ID, "bare") && !res.Labeling.Relevant(ti) {
+			t.Errorf("headerless table not recovered")
+		}
+	}
+	// Support for merged rows should therefore be 2.
+	for _, row := range res.Answer.Rows {
+		if row.Cells[0] == "Japan" && row.Support != 2 {
+			t.Errorf("Japan support = %d, want 2", row.Support)
+		}
+	}
+}
+
+func TestEngineEmptyQuery(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Answer(wwt.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := eng.Answer(wwt.Query{Columns: []string{"the of a"}}); err == nil {
+		t.Error("stopword-only query accepted")
+	}
+}
+
+func TestEngineNoMatches(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Answer(wwt.Query{Columns: []string{"zzzunknown", "qqqabsent"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 0 || len(res.Answer.Rows) != 0 {
+		t.Errorf("expected empty result, got %d tables %d rows", len(res.Tables), len(res.Answer.Rows))
+	}
+}
+
+func TestEngineAlgorithmOption(t *testing.T) {
+	for _, alg := range inference.Algorithms {
+		opts := wwt.DefaultOptions()
+		opts.Algorithm = alg
+		eng, err := wwt.NewEngine(smallCorpus(t), &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Answer(wwt.Query{Columns: []string{"country", "currency"}}); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestEngineSecondProbeToggle(t *testing.T) {
+	opts := wwt.DefaultOptions()
+	opts.SecondProbe = false
+	eng, err := wwt.NewEngine(smallCorpus(t), &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Answer(wwt.Query{Columns: []string{"country", "currency"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedProbe2 {
+		t.Error("probe2 used despite being disabled")
+	}
+	if res.Timings.Probe2 != 0 {
+		t.Error("probe2 timing recorded despite being disabled")
+	}
+}
+
+func TestEnginePersistenceRoundTrip(t *testing.T) {
+	tables := smallCorpus(t)
+	eng, err := wwt.NewEngine(tables, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := eng.Index.Save(filepath.Join(dir, "ix.gob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Store.Save(filepath.Join(dir, "st.gob")); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Load(filepath.Join(dir, "ix.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := index.LoadStore(filepath.Join(dir, "st.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := wwt.NewEngineFrom(ix, st, nil)
+	a, err := eng.Answer(wwt.Query{Columns: []string{"country", "currency"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng2.Answer(wwt.Query{Columns: []string{"country", "currency"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Answer.Rows) != len(b.Answer.Rows) {
+		t.Errorf("answers differ after persistence round trip: %d vs %d rows",
+			len(a.Answer.Rows), len(b.Answer.Rows))
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := wwt.Query{Columns: []string{"country", "currency"}}
+	a, err := eng.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Answer.Rows) != len(b.Answer.Rows) {
+		t.Fatal("row counts differ between runs")
+	}
+	for i := range a.Answer.Rows {
+		for c := range a.Answer.Rows[i].Cells {
+			if a.Answer.Rows[i].Cells[c] != b.Answer.Rows[i].Cells[c] {
+				t.Fatalf("row %d differs between identical runs", i)
+			}
+		}
+	}
+}
+
+func TestEngineDuplicateTableIDs(t *testing.T) {
+	tables := smallCorpus(t)
+	tables = append(tables, tables[0])
+	if _, err := wwt.NewEngine(tables, nil); err == nil {
+		t.Error("duplicate table IDs accepted")
+	}
+}
