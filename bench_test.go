@@ -11,6 +11,7 @@ package wwt_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"wwt"
@@ -20,6 +21,7 @@ import (
 	"wwt/internal/corpusgen"
 	"wwt/internal/extract"
 	"wwt/internal/inference"
+	"wwt/internal/text"
 	"wwt/internal/workload"
 	"wwt/internal/wtable"
 )
@@ -225,6 +227,74 @@ func BenchmarkOfflineExtraction(b *testing.B) {
 		p := w.corpus.Pages[i%len(w.corpus.Pages)]
 		extract.Page(p.URL, p.HTML, opts)
 	}
+}
+
+// queryTokens normalizes every workload query once for the probe benches.
+func queryTokens(w *benchWorld) [][]string {
+	out := make([][]string, len(w.queries))
+	for i, q := range w.queries {
+		var tokens []string
+		for _, col := range q.Columns {
+			tokens = append(tokens, text.Normalize(col)...)
+		}
+		out[i] = tokens
+	}
+	return out
+}
+
+// BenchmarkSearchDense measures the frozen CSR searcher (dense accumulator,
+// precomputed weights, bounded top-k with max-score skip) on the workload's
+// first-probe token sets.
+func BenchmarkSearchDense(b *testing.B) {
+	w := getWorld(b)
+	toks := queryTokens(w)
+	s := w.engine.Searcher()
+	k := w.engine.Opts.ProbeK
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(toks[i%len(toks)], k)
+	}
+}
+
+// BenchmarkSearchMap measures the reference map-based scorer on the same
+// probes — the before side of the CSR refactor.
+func BenchmarkSearchMap(b *testing.B) {
+	w := getWorld(b)
+	toks := queryTokens(w)
+	k := w.engine.Opts.ProbeK
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.engine.Index.Search(toks[i%len(toks)], k)
+	}
+}
+
+// BenchmarkBuildParallel measures the worker-pool model build (with the
+// engine's shared view cache) over the workload's candidate sets.
+func BenchmarkBuildParallel(b *testing.B) {
+	w := getWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := i % len(w.queries)
+		w.engine.MapColumns(wwt.Query{Columns: w.queries[qi].Columns}, w.cands[qi])
+	}
+}
+
+// BenchmarkAnswerConcurrent measures full-pipeline throughput with many
+// querying goroutines sharing one engine (run with -race to verify the
+// concurrent hot path).
+func BenchmarkAnswerConcurrent(b *testing.B) {
+	w := getWorld(b)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			qi := int(next.Add(1)) % len(w.queries)
+			if _, err := w.engine.Answer(wwt.Query{Columns: w.queries[qi].Columns}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkIndexBuild measures building the boosted 3-field index.

@@ -1,0 +1,3 @@
+module wwt
+
+go 1.24

@@ -61,25 +61,36 @@ type rawEdge struct {
 }
 
 // Builder constructs Models. Stats is required; PMI may be nil when
-// Params.UsePMI is false.
+// Params.UsePMI is false. Views, when set, memoizes TableView construction
+// across builds (see ViewCache for the sharing rules).
 type Builder struct {
 	Params Params
 	Stats  CorpusStats
 	PMI    PMISource
+	Views  *ViewCache
+}
+
+// viewFor returns the (possibly cached) analyzed view of one table.
+func (b *Builder) viewFor(t *wtable.Table) *TableView {
+	if b.Views != nil {
+		return b.Views.view(t, b.Params, b.Stats)
+	}
+	return NewTableView(t, b.Params, b.Stats)
 }
 
 // Build assembles the full graphical model: analyzed query, table views,
 // node potentials, stage-1 confidences, and gated cross-table edges.
+//
+// The per-table work — view analysis plus the SegSim/Cover/PMI² feature
+// grid — is independent across tables and runs on a GOMAXPROCS-wide worker
+// pool; every worker writes only its own table's slots, so the result is
+// identical to the serial build.
 func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 	p := b.Params
 	m := &Model{
 		Params: p,
 		Q:      AnalyzeQuery(queryCols, b.Stats),
 		NumQ:   len(queryCols),
-	}
-	m.Views = make([]*TableView, len(tables))
-	for i, t := range tables {
-		m.Views[i] = NewTableView(t, p, b.Stats)
 	}
 
 	// Precompute H(Qℓ) doc sets once per query column for PMI².
@@ -92,9 +103,12 @@ func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 	}
 
 	q := m.NumQ
+	m.Views = make([]*TableView, len(tables))
 	m.Feats = make([][][]Features, len(tables))
 	m.Rel = make([]float64, len(tables))
-	for ti, v := range m.Views {
+	parallelFor(len(tables), func(ti int) {
+		v := b.viewFor(tables[ti])
+		m.Views[ti] = v
 		nt := v.NumCols
 		feats := make([][]Features, nt)
 		cover := make([][]float64, nt)
@@ -113,7 +127,7 @@ func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 		}
 		m.Rel[ti] = tableRelevance(cover, q)
 		m.Feats[ti] = feats
-	}
+	})
 	m.computeNodes()
 	m.computeStage1()
 	m.buildRawEdges()
@@ -188,8 +202,9 @@ func (m *Model) TableMaxMarginals(ti int) [][]float64 {
 	}
 	capR[q] = nt
 	w := make([][]float64, nt)
+	wBacking := make([]float64, nt*(q+1))
 	for c := 0; c < nt; c++ {
-		w[c] = make([]float64, q+1)
+		w[c] = wBacking[c*(q+1) : (c+1)*(q+1)]
 		for j := 0; j < q; j++ {
 			w[c][j] = node[c][j]
 		}
@@ -203,8 +218,9 @@ func (m *Model) TableMaxMarginals(ti int) [][]float64 {
 		nrScore += node[c][NR(q)]
 	}
 	out := make([][]float64, nt)
+	outBacking := make([]float64, nt*NumLabels(q))
 	for c := 0; c < nt; c++ {
-		out[c] = make([]float64, NumLabels(q))
+		out[c] = outBacking[c*NumLabels(q) : (c+1)*NumLabels(q)]
 		for j := 0; j <= q; j++ { // q is the na right node
 			label := j
 			if j == q {
@@ -217,12 +233,14 @@ func (m *Model) TableMaxMarginals(ti int) [][]float64 {
 	return out
 }
 
-// computeStage1 fills Dist and Conf from per-table max-marginals.
+// computeStage1 fills Dist and Conf from per-table max-marginals. Each
+// table's assignment solve is independent, so the loop runs on the shared
+// worker pool with per-index writes.
 func (m *Model) computeStage1() {
 	q := m.NumQ
 	m.Dist = make([][][]float64, len(m.Views))
 	m.Conf = make([][]float64, len(m.Views))
-	for ti := range m.Views {
+	parallelFor(len(m.Views), func(ti int) {
 		mu := m.TableMaxMarginals(ti)
 		nt := m.Views[ti].NumCols
 		dist := make([][]float64, nt)
@@ -239,7 +257,7 @@ func (m *Model) computeStage1() {
 		}
 		m.Dist[ti] = dist
 		m.Conf[ti] = conf
-	}
+	})
 }
 
 // columnRef addresses one column of one table.
@@ -302,8 +320,9 @@ func (m *Model) buildRawEdges() {
 		t1, t2 := key[0], key[1]
 		n1, n2 := m.Views[t1].NumCols, m.Views[t2].NumCols
 		w := make([][]float64, n1)
+		wBacking := make([]float64, n1*n2)
 		for i := range w {
-			w[i] = make([]float64, n2)
+			w[i] = wBacking[i*n2 : (i+1)*n2]
 		}
 		for _, ps := range pairs {
 			blend := p.MatchContentWeight*ps.sim +

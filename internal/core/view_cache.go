@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+
+	"wwt/internal/wtable"
+)
+
+// ViewCache memoizes TableView construction across queries, keyed by table
+// identity (pointer). Candidate sets overlap heavily between queries, and
+// a TableView only depends on the table text, the corpus statistics, and
+// the view-affecting params (FreqTokenMinFrac/FreqTokenMinCount) — all
+// fixed for the lifetime of an engine. Sharing a cache between builders
+// whose view-affecting params or stats differ is a caller bug. Keying by
+// pointer means a distinct table that merely reuses an ID can never be
+// served a stale view; it misses and is analyzed fresh.
+//
+// Cached views are immutable after construction and safe to share between
+// concurrent model builds. The cache is unbounded and pins its tables:
+// engine-driven queries bound it by the corpus (the store already holds
+// those tables), but callers streaming endless fresh tables through
+// Engine.MapColumns grow it with them.
+type ViewCache struct {
+	mu sync.RWMutex
+	m  map[*wtable.Table]*TableView
+}
+
+// NewViewCache returns an empty cache.
+func NewViewCache() *ViewCache {
+	return &ViewCache{m: make(map[*wtable.Table]*TableView)}
+}
+
+// Len returns the number of cached views.
+func (vc *ViewCache) Len() int {
+	vc.mu.RLock()
+	defer vc.mu.RUnlock()
+	return len(vc.m)
+}
+
+// view returns the cached view for t, building and storing it on a miss.
+func (vc *ViewCache) view(t *wtable.Table, p Params, stats CorpusStats) *TableView {
+	vc.mu.RLock()
+	v, ok := vc.m[t]
+	vc.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = NewTableView(t, p, stats)
+	vc.mu.Lock()
+	// A racing builder may have inserted first; keep one winner so every
+	// model in flight shares the same view instance.
+	if prev, ok := vc.m[t]; ok {
+		v = prev
+	} else {
+		vc.m[t] = v
+	}
+	vc.mu.Unlock()
+	return v
+}

@@ -16,7 +16,7 @@ type Assignment struct {
 	w      [][]float64
 
 	g       *MCMF
-	edgeIDs [][]int // left i, right j -> MCMF edge id (-1 when absent)
+	edgeIDs []int32 // flat nL x nR: left i, right j -> MCMF edge id (-1 when absent)
 	// node numbering inside g
 	s, t       int
 	leftBase   int
@@ -54,6 +54,7 @@ func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
 	a.leftBase = 2
 	a.rightBase = 2 + nL + extraL
 	g := NewMCMF(n)
+	g.Reserve(nL + nR + 2 + nL*nR + nL + nR) // caps, dummies, full bipartite grid
 	a.g = g
 
 	for i, c := range capL {
@@ -71,19 +72,19 @@ func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
 		g.AddEdge(a.dummyRight, a.t, sumL-sumR, 0)
 	}
 
-	a.edgeIDs = make([][]int, nL)
+	a.edgeIDs = make([]int32, nL*nR)
 	for i := 0; i < nL; i++ {
-		a.edgeIDs[i] = make([]int, nR)
+		row := a.edgeIDs[i*nR : (i+1)*nR]
 		for j := 0; j < nR; j++ {
 			if math.IsInf(w[i][j], -1) {
-				a.edgeIDs[i][j] = -1
+				row[j] = -1
 				continue
 			}
 			c := capL[i]
 			if capR[j] < c {
 				c = capR[j]
 			}
-			a.edgeIDs[i][j] = g.AddEdge(a.leftBase+i, a.rightBase+j, c, -w[i][j])
+			row[j] = int32(g.AddEdge(a.leftBase+i, a.rightBase+j, c, -w[i][j]))
 		}
 		if a.dummyRight >= 0 {
 			g.AddEdge(a.leftBase+i, a.dummyRight, capL[i], 0)
@@ -101,7 +102,7 @@ func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
 	for i := range a.MatchL {
 		a.MatchL[i] = -1
 		for j := 0; j < nR; j++ {
-			if a.edgeIDs[i][j] >= 0 && g.EdgeFlow(a.edgeIDs[i][j]) > 0 {
+			if id := a.edgeIDs[i*nR+j]; id >= 0 && g.EdgeFlow(int(id)) > 0 {
 				a.MatchL[i] = j
 				break
 			}
@@ -116,13 +117,14 @@ func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
 // Forbidden or unreachable pairs yield -Inf.
 func (a *Assignment) MaxMarginals() [][]float64 {
 	mu := make([][]float64, a.nL)
+	backing := make([]float64, a.nL*a.nR)
 	for i := range mu {
-		mu[i] = make([]float64, a.nR)
+		mu[i] = backing[i*a.nR : (i+1)*a.nR]
 	}
 	for j := 0; j < a.nR; j++ {
 		dist := a.g.ResidualShortestFrom(a.rightBase + j)
 		for i := 0; i < a.nL; i++ {
-			if a.edgeIDs[i][j] == -1 {
+			if a.edgeIDs[i*a.nR+j] == -1 {
 				mu[i][j] = math.Inf(-1)
 				continue
 			}

@@ -14,17 +14,45 @@ const Inf = 1e15
 
 // MCMF is a min-cost max-flow network with integer capacities and float64
 // costs. Edges are stored in pairs: edge i and i^1 are mutual reverses.
+// Adjacency is a forward-star (head/next intrusive lists), so adding an
+// edge never allocates beyond the four amortized array appends — the
+// assignment reductions build thousands of small networks per query.
 type MCMF struct {
 	n    int
 	to   []int32
 	capa []int32
 	cost []float64
-	adj  [][]int32 // node -> edge ids
+	head []int32 // node -> most recent incident edge id, -1 when none
+	next []int32 // edge id -> next incident edge id at the same node
 }
 
 // NewMCMF returns an empty network on n nodes (0..n-1).
 func NewMCMF(n int) *MCMF {
-	return &MCMF{n: n, adj: make([][]int32, n)}
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &MCMF{n: n, head: head}
+}
+
+// Reserve preallocates room for m AddEdge calls.
+func (g *MCMF) Reserve(m int) {
+	if cap(g.to)-len(g.to) >= 2*m {
+		return
+	}
+	grow := len(g.to) + 2*m
+	to := make([]int32, len(g.to), grow)
+	copy(to, g.to)
+	g.to = to
+	capa := make([]int32, len(g.capa), grow)
+	copy(capa, g.capa)
+	g.capa = capa
+	cost := make([]float64, len(g.cost), grow)
+	copy(cost, g.cost)
+	g.cost = cost
+	next := make([]int32, len(g.next), grow)
+	copy(next, g.next)
+	g.next = next
 }
 
 // AddEdge adds a directed edge u→v with the given capacity and per-unit
@@ -35,8 +63,9 @@ func (g *MCMF) AddEdge(u, v, capacity int, cost float64) int {
 	g.to = append(g.to, int32(v), int32(u))
 	g.capa = append(g.capa, int32(capacity), 0)
 	g.cost = append(g.cost, cost, -cost)
-	g.adj[u] = append(g.adj[u], int32(id))
-	g.adj[v] = append(g.adj[v], int32(id+1))
+	g.next = append(g.next, g.head[u], g.head[v])
+	g.head[u] = int32(id)
+	g.head[v] = int32(id + 1)
 	return id
 }
 
@@ -77,7 +106,7 @@ func (g *MCMF) Run(s, t int) (int, float64) {
 			u := queue[0]
 			queue = queue[1:]
 			inQueue[u] = false
-			for _, id := range g.adj[u] {
+			for id := g.head[u]; id >= 0; id = g.next[id] {
 				if g.capa[id] <= 0 {
 					continue
 				}

@@ -1,0 +1,114 @@
+package index
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DocSetCache is a bounded, concurrency-safe LRU cache in front of
+// Searcher.DocSet. The PMI² feature probes the same H(Qℓ) set once per
+// (query column × candidate column) and the same B(cell) set for every
+// repeated cell value, within and across queries; caching the intersected
+// sets turns those repeats into a map hit. Cached slices are shared —
+// callers must treat them as read-only (every in-repo consumer only
+// intersects them).
+type DocSetCache struct {
+	src *Searcher
+
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recent; values are *docSetEntry
+	m   map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type docSetEntry struct {
+	key string
+	set []int32
+}
+
+// DefaultDocSetCacheSize bounds the cache when NewDocSetCache is given a
+// non-positive capacity.
+const DefaultDocSetCacheSize = 8192
+
+// NewDocSetCache wraps a searcher with an LRU of at most capacity entries.
+func NewDocSetCache(src *Searcher, capacity int) *DocSetCache {
+	if capacity <= 0 {
+		capacity = DefaultDocSetCacheSize
+	}
+	return &DocSetCache{
+		src: src,
+		cap: capacity,
+		lru: list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// DocSet returns Searcher.DocSet(tokens, fields...), memoized on the
+// deduplicated sorted token set plus the field mask.
+func (c *DocSetCache) DocSet(tokens []string, fields ...Field) []int32 {
+	key := docSetKey(tokens, fields)
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		set := el.Value.(*docSetEntry).set
+		c.hits++
+		c.mu.Unlock()
+		return set
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compute outside the lock: intersections can be expensive and this
+	// keeps concurrent misses from serializing. A racing duplicate insert
+	// is harmless (same value; LRU keeps one entry per key).
+	set := c.src.DocSet(tokens, fields...)
+
+	c.mu.Lock()
+	if _, ok := c.m[key]; !ok {
+		c.m[key] = c.lru.PushFront(&docSetEntry{key: key, set: set})
+		if c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.m, oldest.Value.(*docSetEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return set
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *DocSetCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached entries.
+func (c *DocSetCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// docSetKey canonicalizes (tokens, fields) into a cache key: unique tokens
+// sorted and joined with an unlikely separator, prefixed by the field mask.
+func docSetKey(tokens []string, fields []Field) string {
+	mask := 0
+	for _, f := range fields {
+		mask |= 1 << f
+	}
+	uniq := dedup(tokens)
+	sort.Strings(uniq)
+	var b strings.Builder
+	b.Grow(2 + len(uniq)*8)
+	b.WriteByte(byte('0' + mask))
+	for _, t := range uniq {
+		b.WriteByte(0x1f)
+		b.WriteString(t)
+	}
+	return b.String()
+}

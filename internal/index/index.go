@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"wwt/internal/text"
 	"wwt/internal/wtable"
@@ -162,6 +163,10 @@ type Hit struct {
 	Score float64
 }
 
+// hitScratch pools the intermediate candidate slices of the map-based
+// scorer so repeated searches reuse capacity instead of reallocating.
+var hitScratch = sync.Pool{New: func() any { s := make([]Hit, 0, 256); return &s }}
+
 // Search runs a union-of-keywords (OR) query over all three fields with the
 // standard boosted TF-IDF score
 //
@@ -169,52 +174,131 @@ type Hit struct {
 //
 // and returns the top k hits by score (all hits when k <= 0). tokens must
 // already be analyzed (text.Normalize).
+//
+// This is the reference scorer; the hot path uses the frozen Searcher,
+// which must stay hit-for-hit identical (see TestSearcherEquivalence).
 func (ix *Index) Search(tokens []string, k int) []Hit {
 	if len(tokens) == 0 || len(ix.ids) == 0 {
 		return nil
 	}
 	uniq := dedup(tokens)
+	// Accumulate in lexicographic term order — the same canonical order the
+	// frozen Searcher uses — so both scorers produce bit-identical sums.
+	sort.Strings(uniq)
 	scores := make(map[int32]float64)
 	for _, tok := range uniq {
 		idf := ix.IDF(tok)
 		for f := 0; f < int(numFields); f++ {
 			for _, p := range ix.postings[f][tok] {
-				l := float64(ix.fieldLen[f][p.Doc])
-				if l < 1 {
-					l = 1
-				}
-				w := Boosts[f] * (1 + math.Log(float64(p.TF))) * idf / math.Sqrt(l)
-				scores[p.Doc] += w
+				scores[p.Doc] += idf * float64(postingWeight(f, p.TF, ix.fieldLen[f][p.Doc]))
 			}
 		}
 	}
-	hits := make([]Hit, 0, len(scores))
+	scratchp := hitScratch.Get().(*[]Hit)
+	scratch := (*scratchp)[:0]
 	for d, s := range scores {
-		hits = append(hits, Hit{ID: ix.ids[d], Score: s})
+		scratch = append(scratch, Hit{ID: ix.ids[d], Score: s})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].ID < hits[j].ID
-	})
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
-	}
+	hits := selectTopHits(scratch, k)
+	*scratchp = scratch[:0]
+	hitScratch.Put(scratchp)
 	return hits
 }
 
-// DocsWithToken returns the sorted doc set containing tok in any of the
-// given fields.
-func (ix *Index) DocsWithToken(tok string, fields ...Field) []int32 {
-	var merged []int32
-	for _, f := range fields {
-		for _, p := range ix.postings[f][tok] {
-			merged = append(merged, p.Doc)
+// betterHit is the hit ordering: higher score first, ties by table ID.
+func betterHit(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// topKSelect partially selects the k best elements of items using an
+// in-place worst-first min-heap over items[:k], and returns that prefix in
+// heap (not sorted) order. worse must be a strict total order ranking a
+// strictly below b. items may be reordered; k >= len(items) returns items
+// unchanged.
+func topKSelect[T any](items []T, k int, worse func(a, b T) bool) []T {
+	if k >= len(items) {
+		return items
+	}
+	h := items[:k]
+	for i := 1; i < len(h); i++ {
+		for j := i; j > 0; {
+			p := (j - 1) / 2
+			if worse(h[p], h[j]) {
+				break
+			}
+			h[p], h[j] = h[j], h[p]
+			j = p
 		}
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
-	return dedupInt32(merged)
+	for _, c := range items[k:] {
+		if worse(c, h[0]) {
+			continue
+		}
+		h[0] = c
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && worse(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && worse(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	return h
+}
+
+// worseHit ranks a strictly below b (topKSelect's order for hits).
+func worseHit(a, b Hit) bool { return betterHit(b, a) }
+
+// selectTopHits returns a freshly allocated, sorted slice of the top k
+// candidates (all of them when k <= 0), partially selecting instead of
+// sorting everything when k is small. cands may be reordered.
+func selectTopHits(cands []Hit, k int) []Hit {
+	sel := cands
+	if k > 0 {
+		sel = topKSelect(cands, k, worseHit)
+	}
+	out := make([]Hit, len(sel))
+	copy(out, sel)
+	sort.Slice(out, func(i, j int) bool { return betterHit(out[i], out[j]) })
+	return out
+}
+
+// DocsWithToken returns the sorted doc set containing tok in any of the
+// given fields. Per-field posting lists are already doc-sorted, so multiple
+// fields k-way merge instead of the old append-then-sort. Duplicate fields
+// are ignored.
+func (ix *Index) DocsWithToken(tok string, fields ...Field) []int32 {
+	var lists [int(numFields)][]int32
+	var used [int(numFields)]bool
+	n := 0
+	for _, f := range fields {
+		if used[f] {
+			continue
+		}
+		used[f] = true
+		ps := ix.postings[f][tok]
+		if len(ps) == 0 {
+			continue
+		}
+		docs := make([]int32, len(ps))
+		for i, p := range ps {
+			docs[i] = p.Doc
+		}
+		lists[n] = docs
+		n++
+	}
+	return mergeSortedDocLists(lists[:n])
 }
 
 // DocSet returns the sorted set of documents containing *all* tokens, each
@@ -280,16 +364,6 @@ func dedup(toks []string) []string {
 		if !seen[t] {
 			seen[t] = true
 			out = append(out, t)
-		}
-	}
-	return out
-}
-
-func dedupInt32(xs []int32) []int32 {
-	out := xs[:0]
-	for i, x := range xs {
-		if i == 0 || x != xs[i-1] {
-			out = append(out, x)
 		}
 	}
 	return out

@@ -65,7 +65,10 @@ func bruteScore(ix *Index, tables []*wtable.Table, doc int, tokens []string) flo
 			if l < 1 {
 				l = 1
 			}
-			score += Boosts[f] * (1 + math.Log(float64(tf))) * idf / math.Sqrt(l)
+			// Spelled out independently of postingWeight (the oracle must
+			// not share the code under test); the float32 conversion is the
+			// index's documented storage precision.
+			score += idf * float64(float32(Boosts[f]*(1+math.Log(float64(tf)))/math.Sqrt(l)))
 		}
 	}
 	return score

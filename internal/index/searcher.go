@@ -1,0 +1,390 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Searcher is a frozen, flat snapshot of an Index built for the online hot
+// path. Postings are laid out CSR-style: for every (term, field) pair a
+// contiguous range over flat doc/weight arrays, with the length-normalized
+// boosted weight (1+ln tf)·boost_f/√len_f(d) precomputed at freeze time so
+// a query probe is a pure gather-multiply-accumulate over idf. Scoring uses
+// a dense accumulator with generation-tagged reset (no per-query map), a
+// bounded top-k heap instead of a full sort, and a max-score skip that
+// stops registering new candidate documents once no unseen document can
+// still reach the current top-k threshold.
+//
+// A Searcher is immutable and safe for concurrent use; per-query scratch
+// state lives in a sync.Pool.
+type Searcher struct {
+	ids     []string
+	numDocs int
+
+	terms    map[string]int32
+	names    []string  // term ID -> token
+	idf      []float64 // per term
+	maxScore []float64 // per term: idf · max posting weight over all fields
+	df       []int32   // per term: union document frequency (rarest-first DocSet order)
+
+	// CSR postings: for term t in field f, docs[f][off[f][t]:off[f][t+1]]
+	// and wts[f][off[f][t]:off[f][t+1]] hold the matching documents (sorted
+	// ascending) and their precomputed weights.
+	off  [numFields][]int32
+	docs [numFields][]int32
+	wts  [numFields][]float32
+
+	pool sync.Pool // *accumulator
+}
+
+// postingWeight is the per-posting score weight shared by the map-based
+// scorer and the frozen searcher: boost_f · (1+ln tf) / √len_f(d), rounded
+// to float32 (the searcher's storage precision) so both paths score
+// identically.
+func postingWeight(f int, tf, fieldLen float32) float32 {
+	l := float64(fieldLen)
+	if l < 1 {
+		l = 1
+	}
+	return float32(Boosts[f] * (1 + math.Log(float64(tf))) / math.Sqrt(l))
+}
+
+// NewSearcher freezes an index into its flat search form. The index must
+// not be mutated afterwards (the searcher shares its ids slice).
+func NewSearcher(ix *Index) *Searcher {
+	terms := make([]string, 0, len(ix.df))
+	for tok := range ix.df {
+		terms = append(terms, tok)
+	}
+	sort.Strings(terms)
+
+	s := &Searcher{
+		ids:      ix.ids,
+		numDocs:  len(ix.ids),
+		terms:    make(map[string]int32, len(terms)),
+		names:    terms,
+		idf:      make([]float64, len(terms)),
+		maxScore: make([]float64, len(terms)),
+		df:       make([]int32, len(terms)),
+	}
+	for ti, tok := range terms {
+		s.terms[tok] = int32(ti)
+		s.idf[ti] = ix.IDF(tok)
+		s.df[ti] = int32(ix.df[tok])
+	}
+	for f := 0; f < int(numFields); f++ {
+		total := 0
+		for _, ps := range ix.postings[f] {
+			total += len(ps)
+		}
+		s.off[f] = make([]int32, len(terms)+1)
+		s.docs[f] = make([]int32, 0, total)
+		s.wts[f] = make([]float32, 0, total)
+		for ti, tok := range terms {
+			s.off[f][ti] = int32(len(s.docs[f]))
+			for _, p := range ix.postings[f][tok] {
+				s.docs[f] = append(s.docs[f], p.Doc)
+				s.wts[f] = append(s.wts[f], postingWeight(f, p.TF, ix.fieldLen[f][p.Doc]))
+			}
+		}
+		s.off[f][len(terms)] = int32(len(s.docs[f]))
+	}
+	// maxScore[t] bounds the contribution of term t to any single document:
+	// a doc matching t in several fields accumulates the SUM of its
+	// per-field weights, so the bound is the max per-doc cross-field sum,
+	// found with a 3-way merge over the term's doc-sorted ranges.
+	for ti := range terms {
+		var pos, hi [numFields]int32
+		for f := 0; f < int(numFields); f++ {
+			pos[f], hi[f] = s.off[f][ti], s.off[f][ti+1]
+		}
+		best := 0.0
+		for {
+			min := int32(math.MaxInt32)
+			for f := 0; f < int(numFields); f++ {
+				if pos[f] < hi[f] && s.docs[f][pos[f]] < min {
+					min = s.docs[f][pos[f]]
+				}
+			}
+			if min == math.MaxInt32 {
+				break
+			}
+			sum := 0.0
+			for f := 0; f < int(numFields); f++ {
+				if pos[f] < hi[f] && s.docs[f][pos[f]] == min {
+					sum += float64(s.wts[f][pos[f]])
+					pos[f]++
+				}
+			}
+			if sum > best {
+				best = sum
+			}
+		}
+		s.maxScore[ti] = s.idf[ti] * best
+	}
+	return s
+}
+
+// Len returns the number of indexed documents.
+func (s *Searcher) Len() int { return s.numDocs }
+
+// IDOf returns the table ID of an internal doc number.
+func (s *Searcher) IDOf(doc int32) string { return s.ids[doc] }
+
+// accumulator is the per-query scratch of a search: a dense score array
+// whose entries are valid only when their generation tag matches cur, the
+// list of touched docs, and reusable heap scratch for threshold and top-k
+// selection.
+type accumulator struct {
+	score   []float64
+	gen     []uint32
+	cur     uint32
+	touched []int32
+	scratch []float64 // reusable buffer for the skip-threshold selection
+}
+
+func (s *Searcher) getAcc() *accumulator {
+	a, _ := s.pool.Get().(*accumulator)
+	if a == nil {
+		a = &accumulator{}
+	}
+	if len(a.score) < s.numDocs {
+		a.score = make([]float64, s.numDocs)
+		a.gen = make([]uint32, s.numDocs)
+		a.cur = 0
+	}
+	a.cur++
+	if a.cur == 0 { // generation counter wrapped: hard reset
+		clear(a.gen)
+		a.cur = 1
+	}
+	a.touched = a.touched[:0]
+	return a
+}
+
+// Search scores a union-of-keywords query exactly like Index.Search and
+// returns the top k hits (all hits when k <= 0), sorted by score then ID.
+func (s *Searcher) Search(tokens []string, k int) []Hit {
+	if len(tokens) == 0 || s.numDocs == 0 {
+		return nil
+	}
+	// Resolve unique known terms.
+	tids := make([]int32, 0, len(tokens))
+	seen := make(map[int32]bool, len(tokens))
+	for _, tok := range tokens {
+		if ti, ok := s.terms[tok]; ok && !seen[ti] {
+			seen[ti] = true
+			tids = append(tids, ti)
+		}
+	}
+	if len(tids) == 0 {
+		return nil
+	}
+	// Canonical (lexicographic term) processing order. The map-based
+	// reference scorer uses the same order, which makes per-document
+	// float64 sums bit-identical — the equivalence the ranking tests pin
+	// down. The max-score skip below is valid under any order.
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	// suffix[i]: the best score any document matching only terms i..n can
+	// reach — the admission bound for documents first seen at term i.
+	suffix := make([]float64, len(tids)+1)
+	for i := len(tids) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + s.maxScore[tids[i]]
+	}
+
+	acc := s.getAcc()
+	defer s.pool.Put(acc)
+
+	updateOnly := false
+	threshold := math.Inf(-1)
+	touchedAtThreshold := -1
+	for i, ti := range tids {
+		if k > 0 && !updateOnly && len(acc.touched) >= k {
+			// Partial scores only grow, so the kth largest partial score is
+			// a valid lower bound on the final kth-best score. A document
+			// unseen so far can reach at most suffix[i]; strictly below the
+			// bound it can neither beat nor tie the current top k. The 1e-9
+			// slack absorbs summation-order rounding in the bound.
+			//
+			// The bound stays valid as terms advance, so first retry the
+			// last computed threshold for free; recompute (an O(touched)
+			// scan) only while the candidate set keeps growing materially.
+			if threshold > suffix[i]+1e-9 {
+				updateOnly = true
+			} else if touchedAtThreshold < 0 || len(acc.touched) > touchedAtThreshold+touchedAtThreshold/4 {
+				threshold = acc.kthLargest(k)
+				touchedAtThreshold = len(acc.touched)
+				if threshold > suffix[i]+1e-9 {
+					updateOnly = true
+				}
+			}
+		}
+		idf := s.idf[ti]
+		for f := 0; f < int(numFields); f++ {
+			lo, hi := s.off[f][ti], s.off[f][ti+1]
+			ds := s.docs[f][lo:hi]
+			ws := s.wts[f][lo:hi]
+			for j, d := range ds {
+				w := idf * float64(ws[j])
+				if acc.gen[d] == acc.cur {
+					acc.score[d] += w
+				} else if !updateOnly {
+					acc.gen[d] = acc.cur
+					acc.score[d] = w
+					acc.touched = append(acc.touched, d)
+				}
+			}
+		}
+	}
+	return s.collect(acc, k)
+}
+
+// kthLargest returns the kth largest score among touched docs (k <=
+// len(touched)) by top-k selection over the reusable scratch slice.
+func (a *accumulator) kthLargest(k int) float64 {
+	a.scratch = a.scratch[:0]
+	for _, d := range a.touched {
+		a.scratch = append(a.scratch, a.score[d])
+	}
+	// Worst-first heap of the k largest: the root is the kth largest.
+	return topKSelect(a.scratch, k, func(x, y float64) bool { return x < y })[0]
+}
+
+// worseDoc reports whether doc a ranks strictly below doc b (lower score,
+// or equal score and lexicographically larger table ID) — the inverse of
+// the hit ordering.
+func (s *Searcher) worseDoc(acc *accumulator, a, b int32) bool {
+	sa, sb := acc.score[a], acc.score[b]
+	if sa != sb {
+		return sa < sb
+	}
+	return s.ids[a] > s.ids[b]
+}
+
+// collect selects the top k touched docs (all when k <= 0) and materializes
+// sorted hits.
+func (s *Searcher) collect(acc *accumulator, k int) []Hit {
+	if len(acc.touched) == 0 {
+		return nil
+	}
+	winners := acc.touched
+	if k > 0 {
+		winners = topKSelect(acc.touched, k, func(a, b int32) bool { return s.worseDoc(acc, a, b) })
+	}
+	hits := make([]Hit, len(winners))
+	for i, d := range winners {
+		hits[i] = Hit{ID: s.ids[d], Score: acc.score[d]}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	return hits
+}
+
+// DocsWithToken returns the sorted doc set containing tok in any of the
+// given fields, equivalent to Index.DocsWithToken.
+func (s *Searcher) DocsWithToken(tok string, fields ...Field) []int32 {
+	ti, ok := s.terms[tok]
+	if !ok {
+		return nil
+	}
+	return s.termDocs(ti, fields)
+}
+
+// termDocs merges the per-field CSR ranges of one term into a fresh sorted
+// deduplicated doc set. Duplicate fields are ignored.
+func (s *Searcher) termDocs(ti int32, fields []Field) []int32 {
+	var lists [int(numFields)][]int32
+	var used [int(numFields)]bool
+	n := 0
+	for _, f := range fields {
+		if used[f] {
+			continue
+		}
+		used[f] = true
+		lo, hi := s.off[f][ti], s.off[f][ti+1]
+		if lo < hi {
+			lists[n] = s.docs[f][lo:hi]
+			n++
+		}
+	}
+	return mergeSortedDocLists(lists[:n])
+}
+
+// DocSet returns the sorted set of documents containing all tokens, each in
+// at least one of the given fields — equivalent to Index.DocSet. The result
+// is freshly allocated and safe to retain.
+func (s *Searcher) DocSet(tokens []string, fields ...Field) []int32 {
+	tids := make([]int32, 0, len(tokens))
+	seen := make(map[int32]bool, len(tokens))
+	for _, tok := range tokens {
+		ti, ok := s.terms[tok]
+		if !ok {
+			return nil // a token absent from the corpus empties the set
+		}
+		if !seen[ti] {
+			seen[ti] = true
+			tids = append(tids, ti)
+		}
+	}
+	if len(tids) == 0 {
+		return nil
+	}
+	// Rarest token first keeps intermediate intersections small.
+	sort.Slice(tids, func(i, j int) bool {
+		if s.df[tids[i]] != s.df[tids[j]] {
+			return s.df[tids[i]] < s.df[tids[j]]
+		}
+		return tids[i] < tids[j]
+	})
+	set := s.termDocs(tids[0], fields)
+	for _, ti := range tids[1:] {
+		if len(set) == 0 {
+			return nil
+		}
+		set = intersectSorted(set, s.termDocs(ti, fields))
+	}
+	return set
+}
+
+// mergeSortedDocLists k-way merges up to numFields sorted doc lists into a
+// fresh deduplicated sorted slice.
+func mergeSortedDocLists(lists [][]int32) []int32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]int32, len(lists[0]))
+		copy(out, lists[0])
+		return out
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]int32, 0, total)
+	pos := make([]int, len(lists))
+	for {
+		min := int32(math.MaxInt32)
+		found := false
+		for li, l := range lists {
+			if pos[li] < len(l) && l[pos[li]] < min {
+				min = l[pos[li]]
+				found = true
+			}
+		}
+		if !found {
+			return out
+		}
+		for li, l := range lists {
+			if pos[li] < len(l) && l[pos[li]] == min {
+				pos[li]++
+			}
+		}
+		out = append(out, min)
+	}
+}

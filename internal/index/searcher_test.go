@@ -1,0 +1,201 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"wwt/internal/wtable"
+)
+
+// buildRandCorpus returns an index plus its tables over the shared random
+// table generator.
+func buildRandCorpus(t *testing.T, seed int64, n int) (*Index, []*wtable.Table) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	tables := make([]*wtable.Table, n)
+	for i := range tables {
+		tables[i] = randDocTable(r, i)
+	}
+	ix, err := Build(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, tables
+}
+
+func randQuery(r *rand.Rand) []string {
+	q := make([]string, 1+r.Intn(6))
+	for i := range q {
+		q[i] = propWords[r.Intn(len(propWords))]
+	}
+	if r.Intn(3) == 0 {
+		q = append(q, "unknownword") // absent from every table
+	}
+	if r.Intn(3) == 0 && len(q) > 1 {
+		q = append(q, q[0]) // duplicate token
+	}
+	return q
+}
+
+func sameHits(t *testing.T, want, got []Hit, ctx string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: hit count %d != %d (want %v, got %v)", ctx, len(got), len(want), want, got)
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID {
+			t.Fatalf("%s: hit %d ID %q != %q", ctx, i, got[i].ID, want[i].ID)
+		}
+		if math.Abs(want[i].Score-got[i].Score) > 1e-9 {
+			t.Fatalf("%s: hit %d score %v != %v", ctx, i, got[i].Score, want[i].Score)
+		}
+	}
+}
+
+// TestSearcherEquivalence: the frozen CSR searcher must return the exact
+// hit sets, order and scores (within 1e-9) of the map-based scorer, for
+// every k including the unbounded and over-bounded cases.
+func TestSearcherEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 2012, 99991} {
+		ix, _ := buildRandCorpus(t, seed, 2+rand.New(rand.NewSource(seed)).Intn(60))
+		s := NewSearcher(ix)
+		r := rand.New(rand.NewSource(seed + 1))
+		for qi := 0; qi < 50; qi++ {
+			q := randQuery(r)
+			for _, k := range []int{0, 1, 2, 3, 5, 17, 1000} {
+				want := ix.Search(q, k)
+				got := s.Search(q, k)
+				sameHits(t, want, got, "search")
+			}
+		}
+	}
+}
+
+// TestSearcherDocSetEquivalence: DocsWithToken and DocSet must match the
+// index across field combinations.
+func TestSearcherDocSetEquivalence(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 4242, 40)
+	s := NewSearcher(ix)
+	fieldSets := [][]Field{
+		{FieldHeader}, {FieldContext}, {FieldContent},
+		{FieldHeader, FieldContext}, {FieldHeader, FieldContext, FieldContent},
+	}
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		toks := randQuery(r)
+		for _, fs := range fieldSets {
+			want := ix.DocSet(toks, fs...)
+			got := s.DocSet(toks, fs...)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("DocSet(%v, %v) = %v, want %v", toks, fs, got, want)
+			}
+		}
+		tok := propWords[r.Intn(len(propWords))]
+		for _, fs := range fieldSets {
+			want := ix.DocsWithToken(tok, fs...)
+			got := s.DocsWithToken(tok, fs...)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("DocsWithToken(%q, %v) = %v, want %v", tok, fs, got, want)
+			}
+		}
+	}
+}
+
+// TestSearcherAfterGobRoundTrip: a searcher frozen from a loaded index must
+// behave like one frozen from the original.
+func TestSearcherAfterGobRoundTrip(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 321, 25)
+	path := filepath.Join(t.TempDir(), "index.gob")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(loaded)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		q := randQuery(r)
+		sameHits(t, ix.Search(q, 10), s.Search(q, 10), "post-gob search")
+	}
+}
+
+// TestSearcherConcurrent: one searcher must serve goroutines concurrently
+// (run under -race).
+func TestSearcherConcurrent(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 777, 50)
+	s := NewSearcher(ix)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				q := randQuery(r)
+				want := ix.Search(q, 7)
+				got := s.Search(q, 7)
+				if len(want) != len(got) {
+					t.Errorf("goroutine %d: %d hits, want %d", g, len(got), len(want))
+					return
+				}
+				for j := range want {
+					if want[j].ID != got[j].ID || math.Abs(want[j].Score-got[j].Score) > 1e-9 {
+						t.Errorf("goroutine %d: hit %d mismatch", g, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDocSetCache: cached results equal uncached ones, repeats hit, and the
+// LRU respects its capacity.
+func TestDocSetCache(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 11, 30)
+	s := NewSearcher(ix)
+	c := NewDocSetCache(s, 4)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		toks := randQuery(r)
+		want := ix.DocSet(toks, FieldHeader, FieldContext)
+		got := c.DocSet(toks, FieldHeader, FieldContext)
+		if len(want) != 0 || len(got) != 0 {
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("cached DocSet(%v) = %v, want %v", toks, got, want)
+			}
+		}
+		if c.Len() > 4 {
+			t.Fatalf("cache exceeded capacity: %d", c.Len())
+		}
+	}
+	c2 := NewDocSetCache(s, 0) // default capacity
+	toks := []string{propWords[0], propWords[1]}
+	first := c2.DocSet(toks, FieldContent)
+	second := c2.DocSet(toks, FieldContent)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("repeat lookup differs")
+	}
+	hits, misses := c2.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// Token order and duplicates must not change the key.
+	c2.DocSet([]string{propWords[1], propWords[0], propWords[0]}, FieldContent)
+	if h, _ := c2.Stats(); h != 2 {
+		t.Fatalf("canonicalized key missed the cache (hits=%d)", h)
+	}
+}

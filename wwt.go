@@ -94,11 +94,18 @@ type Result struct {
 	Timings    Timings
 }
 
-// Engine answers column-keyword queries over an indexed table corpus.
+// Engine answers column-keyword queries over an indexed table corpus. An
+// engine is immutable after construction and safe for concurrent Answer /
+// Candidates / MapColumns calls: the hot path runs on a frozen flat
+// searcher, and the PMI doc-set and table-view caches are concurrency-safe.
 type Engine struct {
 	Index *index.Index
 	Store *index.Store
 	Opts  Options
+
+	searcher *index.Searcher
+	docsets  *index.DocSetCache
+	views    *core.ViewCache
 }
 
 // NewEngine indexes the given tables and returns a ready engine. opts may
@@ -118,29 +125,70 @@ func NewEngine(tables []*wtable.Table, opts *Options) (*Engine, error) {
 			return nil, fmt.Errorf("wwt: %w", err)
 		}
 	}
-	return &Engine{Index: ix, Store: st, Opts: o}, nil
+	return NewEngineFrom(ix, st, &o), nil
 }
 
-// NewEngineFrom wraps an existing index and store (e.g. loaded from disk).
+// NewEngineFrom wraps an existing index and store (e.g. loaded from disk),
+// freezing the index into its flat search form. The index must not be
+// mutated afterwards.
 func NewEngineFrom(ix *index.Index, st *index.Store, opts *Options) *Engine {
 	o := DefaultOptions()
 	if opts != nil {
 		o = *opts
 	}
-	return &Engine{Index: ix, Store: st, Opts: o}
+	s := index.NewSearcher(ix)
+	return &Engine{
+		Index:    ix,
+		Store:    st,
+		Opts:     o,
+		searcher: s,
+		docsets:  index.NewDocSetCache(s, 0),
+		views:    core.NewViewCache(),
+	}
+}
+
+// Searcher returns the engine's frozen flat searcher.
+func (e *Engine) Searcher() *index.Searcher { return e.searcher }
+
+// search probes the frozen searcher, falling back to the map-based scorer
+// for zero-value engines constructed without NewEngine/NewEngineFrom.
+func (e *Engine) search(tokens []string, k int) []index.Hit {
+	if e.searcher != nil {
+		return e.searcher.Search(tokens, k)
+	}
+	return e.Index.Search(tokens, k)
+}
+
+// builder returns a model builder wired to the engine's corpus statistics,
+// cached PMI doc sets and shared table-view cache.
+func (e *Engine) builder() *core.Builder {
+	return &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource(), Views: e.views}
 }
 
 // PMISource exposes the engine's index as the co-occurrence source for the
-// PMI² feature.
-func (e *Engine) PMISource() core.PMISource { return indexPMI{e.Index} }
+// PMI² feature. Doc-set probes go through the engine's LRU cache, so
+// repeated H(Qℓ) and B(cell) intersections within and across queries are
+// served from memory.
+func (e *Engine) PMISource() core.PMISource {
+	return indexPMI{ix: e.Index, cache: e.docsets}
+}
 
-type indexPMI struct{ ix *index.Index }
+type indexPMI struct {
+	ix    *index.Index
+	cache *index.DocSetCache
+}
 
 func (s indexPMI) HeaderContextDocs(tokens []string) []int32 {
+	if s.cache != nil {
+		return s.cache.DocSet(tokens, index.FieldHeader, index.FieldContext)
+	}
 	return s.ix.DocSet(tokens, index.FieldHeader, index.FieldContext)
 }
 
 func (s indexPMI) ContentDocs(tokens []string) []int32 {
+	if s.cache != nil {
+		return s.cache.DocSet(tokens, index.FieldContent)
+	}
 	return s.ix.DocSet(tokens, index.FieldContent)
 }
 
@@ -159,7 +207,7 @@ func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error)
 		return nil, false, fmt.Errorf("wwt: query has no content words")
 	}
 	start := time.Now()
-	hits := e.Index.Search(tokens, e.Opts.ProbeK)
+	hits := e.search(tokens, e.Opts.ProbeK)
 	if tm != nil {
 		tm.Probe1 = time.Since(start)
 	}
@@ -173,32 +221,39 @@ func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error)
 	}
 
 	// Stage 1 mapping to find confident tables.
-	builder := &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource()}
-	m := builder.Build(q.Columns, tables)
+	m := e.builder().Build(q.Columns, tables)
 	l := inference.SolveIndependent(m)
 	type scored struct {
 		ti  int
 		rel float64
 	}
-	var confident []scored
+	// Top-two confident tables by relevance in one linear scan; strict
+	// comparisons keep the earlier table on ties, matching the old stable
+	// sort.
+	confident := make([]scored, 0, 2)
 	for ti := range tables {
-		if l.Relevant(ti) && m.Rel[ti] >= e.Opts.MinConfidentRelevance {
-			confident = append(confident, scored{ti, m.Rel[ti]})
+		if !l.Relevant(ti) || m.Rel[ti] < e.Opts.MinConfidentRelevance {
+			continue
+		}
+		s := scored{ti, m.Rel[ti]}
+		switch {
+		case len(confident) == 0:
+			confident = append(confident, s)
+		case s.rel > confident[0].rel:
+			if len(confident) < 2 {
+				confident = append(confident, confident[0])
+			} else {
+				confident[1] = confident[0]
+			}
+			confident[0] = s
+		case len(confident) < 2:
+			confident = append(confident, s)
+		case s.rel > confident[1].rel:
+			confident[1] = s
 		}
 	}
 	if len(confident) == 0 {
 		return tables, false, nil
-	}
-	// Top-two by relevance.
-	for i := 0; i < len(confident); i++ {
-		for j := i + 1; j < len(confident); j++ {
-			if confident[j].rel > confident[i].rel {
-				confident[i], confident[j] = confident[j], confident[i]
-			}
-		}
-	}
-	if len(confident) > 2 {
-		confident = confident[:2]
 	}
 	// Sample rows deterministically per query.
 	h := fnv.New64a()
@@ -221,7 +276,7 @@ func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error)
 		}
 	}
 	start = time.Now()
-	hits2 := e.Index.Search(sample, e.Opts.ProbeK)
+	hits2 := e.search(sample, e.Opts.ProbeK)
 	if tm != nil {
 		tm.Probe2 = time.Since(start)
 	}
@@ -264,8 +319,7 @@ func (e *Engine) Answer(q Query) (*Result, error) {
 	res.UsedProbe2 = usedProbe2
 
 	start := time.Now()
-	builder := &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource()}
-	m := builder.Build(q.Columns, tables)
+	m := e.builder().Build(q.Columns, tables)
 	res.Model = m
 	res.Labeling = inference.Solve(m, e.Opts.Algorithm)
 	res.Timings.ColumnMap = time.Since(start)
@@ -279,7 +333,6 @@ func (e *Engine) Answer(q Query) (*Result, error) {
 // MapColumns runs only the column-mapping stage over caller-supplied
 // candidates — the §3 task in isolation, used by the experiments.
 func (e *Engine) MapColumns(q Query, tables []*wtable.Table) (*core.Model, core.Labeling) {
-	builder := &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource()}
-	m := builder.Build(q.Columns, tables)
+	m := e.builder().Build(q.Columns, tables)
 	return m, inference.Solve(m, e.Opts.Algorithm)
 }

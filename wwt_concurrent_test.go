@@ -1,0 +1,106 @@
+package wwt_test
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"wwt"
+	"wwt/internal/text"
+)
+
+// TestAnswerConcurrent exercises the full pipeline from many goroutines at
+// once (run under -race): the frozen searcher, the PMI doc-set cache, the
+// shared view cache and the parallel model build must all be safe to share,
+// and every goroutine must see identical results for identical queries.
+func TestAnswerConcurrent(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []wwt.Query{
+		{Columns: []string{"country", "currency"}},
+		{Columns: []string{"name", "area"}},
+		{Columns: []string{"currency"}},
+	}
+	// Reference results, computed serially.
+	type outcome struct {
+		rows     [][]string
+		labeling [][]int
+	}
+	want := make([]outcome, len(queries))
+	for i, q := range queries {
+		res, err := eng.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Answer.Rows {
+			want[i].rows = append(want[i].rows, row.Cells)
+		}
+		want[i].labeling = res.Labeling.Y
+	}
+
+	const goroutines = 8
+	const rounds = 10
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (g + r) % len(queries)
+				res, err := eng.Answer(queries[qi])
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				var rows [][]string
+				for _, row := range res.Answer.Rows {
+					rows = append(rows, row.Cells)
+				}
+				if !reflect.DeepEqual(rows, want[qi].rows) {
+					t.Errorf("goroutine %d query %d: rows diverged", g, qi)
+					return
+				}
+				if !reflect.DeepEqual(res.Labeling.Y, want[qi].labeling) {
+					t.Errorf("goroutine %d query %d: labeling diverged", g, qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestEngineProbeMatchesMapScorer pins the engine's frozen-searcher probe
+// to the reference map-based scorer at the API level: same hits, same
+// order, same scores.
+func TestEngineProbeMatchesMapScorer(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cols := range [][]string{
+		{"country", "currency"},
+		{"name", "area"},
+		{"forest reserves"},
+	} {
+		var tokens []string
+		for _, c := range cols {
+			tokens = append(tokens, text.Normalize(c)...)
+		}
+		for _, k := range []int{0, 1, 2, 40} {
+			want := eng.Index.Search(tokens, k)
+			got := eng.Searcher().Search(tokens, k)
+			if len(want) != len(got) {
+				t.Fatalf("cols %v k=%d: %d hits, want %d", cols, k, len(got), len(want))
+			}
+			for i := range want {
+				if want[i].ID != got[i].ID || math.Abs(want[i].Score-got[i].Score) > 1e-9 {
+					t.Fatalf("cols %v k=%d hit %d: got %+v, want %+v", cols, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
