@@ -61,8 +61,10 @@ type rawEdge struct {
 }
 
 // Builder constructs Models. Stats is required; PMI may be nil when
-// Params.UsePMI is false. Views, when set, memoizes TableView construction
-// across builds (see ViewCache for the sharing rules).
+// Params.UsePMI is false — when set, it is probed from Build's worker pool
+// and must be safe for concurrent calls. Views, when set, memoizes
+// TableView construction across builds (see ViewCache for the sharing
+// rules).
 type Builder struct {
 	Params Params
 	Stats  CorpusStats

@@ -23,10 +23,20 @@ func parallelFor(n int, fn func(int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// A panic in a worker goroutine would kill the process; capture
+			// the first one and rethrow it on the calling goroutine so
+			// callers see the same panic the serial loop would raise.
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -37,4 +47,7 @@ func parallelFor(n int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForCoversAllIndices: every index runs exactly once regardless
+// of worker count.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		counts := make([]atomic.Int32, n)
+		parallelFor(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestParallelForPropagatesPanic: a panic inside fn must surface on the
+// calling goroutine (as in the serial loop), not crash the process from a
+// worker.
+func TestParallelForPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	parallelFor(64, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+	t.Fatal("parallelFor returned instead of panicking")
+}

@@ -173,6 +173,11 @@ type CorpusStats interface {
 // PMISource supplies the document sets intersected by the PMI² feature:
 // H(Qℓ) — documents carrying all of Qℓ's tokens in header or context —
 // and B(cell) — documents carrying all of a cell's tokens in content.
+//
+// Builder.Build probes the source from a pool of worker goroutines, so
+// implementations must be safe for concurrent calls. Returned doc sets may
+// be shared (e.g. cache-backed) and must be treated as read-only by
+// consumers.
 type PMISource interface {
 	HeaderContextDocs(tokens []string) []int32
 	ContentDocs(tokens []string) []int32

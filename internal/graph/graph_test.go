@@ -33,6 +33,30 @@ func TestMCMFPicksCheaperPath(t *testing.T) {
 	}
 }
 
+// TestMCMFTieBreakInsertionOrder: among equal-cost augmenting paths the
+// solver must route flow along the first-added edges. The shortest-path
+// relaxation is strict (nd < dist[v]-costEps), so the winner is whichever
+// tied edge is relaxed first — which regressed when the forward-star lists
+// briefly iterated most-recent-first instead of insertion order.
+func TestMCMFTieBreakInsertionOrder(t *testing.T) {
+	// A capacity-1 bottleneck 0→1 feeding two identical-cost branches
+	// 1→2→4 and 1→3→4: only one tied branch can carry the single unit.
+	g := NewMCMF(5)
+	g.AddEdge(0, 1, 1, 0)
+	first := g.AddEdge(1, 2, 1, 1)
+	g.AddEdge(2, 4, 1, 1)
+	second := g.AddEdge(1, 3, 1, 1)
+	g.AddEdge(3, 4, 1, 1)
+	flow, cost := g.Run(0, 4)
+	if flow != 1 || math.Abs(cost-2) > 1e-9 {
+		t.Fatalf("flow=%d cost=%f, want 1, 2", flow, cost)
+	}
+	if g.EdgeFlow(first) != 1 || g.EdgeFlow(second) != 0 {
+		t.Errorf("tie broke to the later edge: flows %d/%d, want 1/0",
+			g.EdgeFlow(first), g.EdgeFlow(second))
+	}
+}
+
 func TestMCMFNegativeCosts(t *testing.T) {
 	// Bipartite-matching-like graph with negative costs (= positive weights).
 	g := NewMCMF(6)

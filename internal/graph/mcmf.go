@@ -14,25 +14,30 @@ const Inf = 1e15
 
 // MCMF is a min-cost max-flow network with integer capacities and float64
 // costs. Edges are stored in pairs: edge i and i^1 are mutual reverses.
-// Adjacency is a forward-star (head/next intrusive lists), so adding an
-// edge never allocates beyond the four amortized array appends — the
-// assignment reductions build thousands of small networks per query.
+// Adjacency is a forward-star (head/tail/next intrusive lists), so adding
+// an edge never allocates beyond the amortized array appends — the
+// assignment reductions build thousands of small networks per query. Lists
+// are kept in insertion order: shortest-path searches break cost ties by
+// the first edge relaxed, and callers (max-marginals, matching extraction)
+// observe which equally-cheap path wins, so iteration order is part of the
+// solver's contract.
 type MCMF struct {
 	n    int
 	to   []int32
 	capa []int32
 	cost []float64
-	head []int32 // node -> most recent incident edge id, -1 when none
+	head []int32 // node -> first incident edge id, -1 when none
+	tail []int32 // node -> last incident edge id, -1 when none
 	next []int32 // edge id -> next incident edge id at the same node
 }
 
 // NewMCMF returns an empty network on n nodes (0..n-1).
 func NewMCMF(n int) *MCMF {
-	head := make([]int32, n)
+	head := make([]int32, 2*n)
 	for i := range head {
 		head[i] = -1
 	}
-	return &MCMF{n: n, head: head}
+	return &MCMF{n: n, head: head[:n], tail: head[n:]}
 }
 
 // Reserve preallocates room for m AddEdge calls.
@@ -63,10 +68,21 @@ func (g *MCMF) AddEdge(u, v, capacity int, cost float64) int {
 	g.to = append(g.to, int32(v), int32(u))
 	g.capa = append(g.capa, int32(capacity), 0)
 	g.cost = append(g.cost, cost, -cost)
-	g.next = append(g.next, g.head[u], g.head[v])
-	g.head[u] = int32(id)
-	g.head[v] = int32(id + 1)
+	g.next = append(g.next, -1, -1)
+	g.link(u, int32(id))
+	g.link(v, int32(id+1))
 	return id
+}
+
+// link appends edge id to node u's incident list, preserving insertion
+// order.
+func (g *MCMF) link(u int, id int32) {
+	if g.tail[u] < 0 {
+		g.head[u] = id
+	} else {
+		g.next[g.tail[u]] = id
+	}
+	g.tail[u] = id
 }
 
 // EdgeFlow returns the flow currently on edge id (the capacity accumulated

@@ -298,6 +298,9 @@ func (ix *Index) DocsWithToken(tok string, fields ...Field) []int32 {
 		lists[n] = docs
 		n++
 	}
+	if n == 1 {
+		return lists[0] // already freshly allocated; skip the merge's copy
+	}
 	return mergeSortedDocLists(lists[:n])
 }
 

@@ -2,6 +2,7 @@ package index
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -247,6 +248,11 @@ func (a *accumulator) kthLargest(k int) float64 {
 	for _, d := range a.touched {
 		a.scratch = append(a.scratch, a.score[d])
 	}
+	if k >= len(a.scratch) {
+		// topKSelect returns the slice unheapified in this case, so its
+		// [0] would be arbitrary; the kth largest of k items is the min.
+		return slices.Min(a.scratch)
+	}
 	// Worst-first heap of the k largest: the root is the kth largest.
 	return topKSelect(a.scratch, k, func(x, y float64) bool { return x < y })[0]
 }
@@ -276,12 +282,7 @@ func (s *Searcher) collect(acc *accumulator, k int) []Hit {
 	for i, d := range winners {
 		hits[i] = Hit{ID: s.ids[d], Score: acc.score[d]}
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].ID < hits[j].ID
-	})
+	sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
 	return hits
 }
 

@@ -75,6 +75,49 @@ func TestSearcherEquivalence(t *testing.T) {
 	}
 }
 
+// TestSearcherSkipWithExactlyKTouched: regression for the max-score skip
+// threshold. When the first term touches exactly k documents, kthLargest
+// hands topKSelect a slice with k == len, which topKSelect returns
+// unheapified — so [0] used to be an arbitrary (often the largest) partial
+// score. The inflated threshold tripped the skip and documents brought in
+// by later terms were never registered, even though they belong in the
+// final top k.
+func TestSearcherSkipWithExactlyKTouched(t *testing.T) {
+	row := func(cells ...string) wtable.Row {
+		r := wtable.Row{}
+		for _, c := range cells {
+			r.Cells = append(r.Cells, wtable.Cell{Text: c})
+		}
+		return r
+	}
+	// "aaa" touches exactly k=2 docs: t0 strongly (boosted header match)
+	// and t1 weakly. "bbb" touches only t2, whose score lands strictly
+	// between t0's and t1's, so the true top 2 is {t0, t2}. With the
+	// inflated threshold (t0's partial score > maxScore["bbb"]) the skip
+	// fired during "bbb" and t2 was dropped in favor of t1.
+	tables := []*wtable.Table{
+		{ID: "t0", HeaderRows: []wtable.Row{row("aaa")}, BodyRows: []wtable.Row{row("xxx")}},
+		{ID: "t1", BodyRows: []wtable.Row{row("aaa")}},
+		{ID: "t2", BodyRows: []wtable.Row{row("bbb")}},
+	}
+	ix, err := Build(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(ix)
+	q := []string{"aaa", "bbb"}
+	want := ix.Search(q, 2)
+	got := s.Search(q, 2)
+	sameHits(t, want, got, "exactly-k skip")
+	ids := map[string]bool{}
+	for _, h := range got {
+		ids[h.ID] = true
+	}
+	if !ids["t0"] || !ids["t2"] {
+		t.Fatalf("top-2 = %v, want t0 and t2 (t2 arrives after the skip threshold is set)", got)
+	}
+}
+
 // TestSearcherDocSetEquivalence: DocsWithToken and DocSet must match the
 // index across field combinations.
 func TestSearcherDocSetEquivalence(t *testing.T) {

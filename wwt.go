@@ -168,7 +168,9 @@ func (e *Engine) builder() *core.Builder {
 // PMISource exposes the engine's index as the co-occurrence source for the
 // PMI² feature. Doc-set probes go through the engine's LRU cache, so
 // repeated H(Qℓ) and B(cell) intersections within and across queries are
-// served from memory.
+// served from memory. The returned doc sets are the cache's backing
+// slices: callers must treat them as read-only (mutating one corrupts the
+// cache for every later query).
 func (e *Engine) PMISource() core.PMISource {
 	return indexPMI{ix: e.Index, cache: e.docsets}
 }
@@ -331,7 +333,11 @@ func (e *Engine) Answer(q Query) (*Result, error) {
 }
 
 // MapColumns runs only the column-mapping stage over caller-supplied
-// candidates — the §3 task in isolation, used by the experiments.
+// candidates — the §3 task in isolation, used by the experiments. The
+// engine's table-view cache retains every table passed here (and its
+// analyzed view) for the engine's lifetime; callers streaming an unbounded
+// sequence of fresh tables through a long-lived engine should construct a
+// fresh engine per batch.
 func (e *Engine) MapColumns(q Query, tables []*wtable.Table) (*core.Model, core.Labeling) {
 	m := e.builder().Build(q.Columns, tables)
 	return m, inference.Solve(m, e.Opts.Algorithm)
