@@ -35,8 +35,12 @@ func table(id string, headerRows [][]string, body [][]string, context string) *w
 	return t
 }
 
+// testIntern is shared by every view the tests build, so views from
+// separate view() calls stay comparable by ContentSim/HeaderSim.
+var testIntern = NewInterner()
+
 func view(t *wtable.Table) *TableView {
-	return NewTableView(t, DefaultParams(), constStats{})
+	return NewTableView(t, DefaultParams(), constStats{}, testIntern)
 }
 
 func qcol(s string) *QueryColumn {

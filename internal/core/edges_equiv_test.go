@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wwt/internal/graph"
+	"wwt/internal/wtable"
+)
+
+// buildRawEdgesRef is a faithful port of the pre-refactor serial map-based
+// buildRawEdges (the §3.3 edge construction before the flat/parallel
+// rewrite): per-query Jaccard grid over all cross-table column pairs, map
+// denominators, and a one-one max-matching per table pair marked through
+// an edge-index map. The new path is pinned hit-for-hit against it.
+func buildRawEdgesRef(m *Model) []rawEdge {
+	type columnRef struct{ t, c int }
+	p := m.Params
+	n := len(m.Views)
+	if n < 2 {
+		return nil
+	}
+	type pairSim struct {
+		a, b columnRef
+		sim  float64
+	}
+	var sims []pairSim
+	denom := make(map[columnRef]float64)
+	for t1 := 0; t1 < n; t1++ {
+		for t2 := t1 + 1; t2 < n; t2++ {
+			for c1 := 0; c1 < m.Views[t1].NumCols; c1++ {
+				for c2 := 0; c2 < m.Views[t2].NumCols; c2++ {
+					s := ContentSim(m.Views[t1], m.Views[t2], c1, c2)
+					if s < p.MinNeighborSim {
+						continue
+					}
+					a := columnRef{t1, c1}
+					b := columnRef{t2, c2}
+					sims = append(sims, pairSim{a, b, s})
+					denom[a] += s
+					denom[b] += s
+				}
+			}
+		}
+	}
+	if len(sims) == 0 {
+		return nil
+	}
+	var rawEdges []rawEdge
+	edgeIdx := make(map[[2]columnRef]int, len(sims))
+	tablePairs := make(map[[2]int][]pairSim)
+	for _, ps := range sims {
+		edgeIdx[[2]columnRef{ps.a, ps.b}] = len(rawEdges)
+		rawEdges = append(rawEdges, rawEdge{
+			t1: ps.a.t, c1: ps.a.c, t2: ps.b.t, c2: ps.b.c,
+			nsimAB: ps.sim / (p.Lambda + denom[ps.a]),
+			nsimBA: ps.sim / (p.Lambda + denom[ps.b]),
+			sim:    ps.sim,
+		})
+		key := [2]int{ps.a.t, ps.b.t}
+		tablePairs[key] = append(tablePairs[key], ps)
+	}
+	for key, pairs := range tablePairs {
+		t1, t2 := key[0], key[1]
+		n1, n2 := m.Views[t1].NumCols, m.Views[t2].NumCols
+		w := make([][]float64, n1)
+		wBacking := make([]float64, n1*n2)
+		for i := range w {
+			w[i] = wBacking[i*n2 : (i+1)*n2]
+		}
+		for _, ps := range pairs {
+			blend := p.MatchContentWeight*ps.sim +
+				p.MatchHeaderWeight*HeaderSim(m.Views[t1], m.Views[t2], ps.a.c, ps.b.c)
+			w[ps.a.c][ps.b.c] = blend
+		}
+		sol := graph.SolveAssignment(ones(n1), ones(n2), w)
+		for c1, c2 := range sol.MatchL {
+			if c2 < 0 {
+				continue
+			}
+			if idx, ok := edgeIdx[[2]columnRef{{t1, c1}, {t2, c2}}]; ok {
+				rawEdges[idx].matched = true
+			}
+		}
+	}
+	return rawEdges
+}
+
+// checkEdgesEquiv rebuilds m's edges through the reference path and
+// demands identical rawEdges (order, endpoints, similarities, matched
+// flags) and identical final Edges.
+func checkEdgesEquiv(t *testing.T, m *Model, label string) {
+	t.Helper()
+	ref := buildRawEdgesRef(m)
+	if len(ref) != len(m.rawEdges) {
+		t.Fatalf("%s: rawEdges count = %d, want %d", label, len(m.rawEdges), len(ref))
+	}
+	for i := range ref {
+		if m.rawEdges[i] != ref[i] {
+			t.Fatalf("%s: rawEdges[%d] = %+v, want %+v", label, i, m.rawEdges[i], ref[i])
+		}
+	}
+	refModel := *m
+	refModel.rawEdges = ref
+	refModel.Edges = nil
+	refModel.finalizeEdges()
+	if !reflect.DeepEqual(m.Edges, refModel.Edges) {
+		t.Fatalf("%s: Edges diverged:\n got %+v\nwant %+v", label, m.Edges, refModel.Edges)
+	}
+}
+
+// TestBuildRawEdgesEquivalence fuzzes the flat/parallel/cached edge path
+// against the serial map-based reference on randomized corpora, with and
+// without a warm PairSimCache, across edge variants.
+func TestBuildRawEdgesEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		numTables := 2 + r.Intn(5)
+		tables := make([]*wtable.Table, numTables)
+		for i := range tables {
+			tables[i] = randTable(r)
+			tables[i].ID = fmt.Sprintf("t%d", i)
+		}
+		p := DefaultParams()
+		// Exercise threshold extremes too: 0 keeps even zero-similarity
+		// pairs (including empty columns), which the old path did.
+		switch seed % 4 {
+		case 1:
+			p.MinNeighborSim = 0
+		case 2:
+			p.MinNeighborSim = 0.5
+		case 3:
+			p.Edges = EdgePotts
+		}
+		cols := []string{phraseFrom(r, 1+r.Intn(2)), phraseFrom(r, 1)}
+
+		// Cacheless build (fresh interner per build).
+		plain := &Builder{Params: p, Stats: constStats{}}
+		m := plain.Build(cols, tables)
+		checkEdgesEquiv(t, m, fmt.Sprintf("seed %d cacheless", seed))
+
+		// Cold caches, then warm (second build served from PairSimCache).
+		cached := &Builder{Params: p, Stats: constStats{}, Views: NewViewCache(), Pairs: NewPairSimCache(0)}
+		mCold := cached.Build(cols, tables)
+		checkEdgesEquiv(t, mCold, fmt.Sprintf("seed %d cold cache", seed))
+		mWarm := cached.Build(cols, tables)
+		checkEdgesEquiv(t, mWarm, fmt.Sprintf("seed %d warm cache", seed))
+		if hits, _ := cached.Pairs.Stats(); hits == 0 && numTables >= 2 {
+			t.Fatalf("seed %d: warm build never hit the pair cache", seed)
+		}
+		if !reflect.DeepEqual(mCold.Edges, mWarm.Edges) {
+			t.Fatalf("seed %d: cold/warm Edges diverged", seed)
+		}
+	}
+}
+
+// TestBuildRawEdgesMinNeighborSimBoundary pins the >= threshold boundary:
+// a pair at exactly MinNeighborSim is kept, one just below is dropped —
+// in both the reference and the new path.
+func TestBuildRawEdgesMinNeighborSimBoundary(t *testing.T) {
+	// Column contents sized for exact Jaccard values: |A|=4, |B|=7,
+	// inter=1 -> 1/10 = 0.1 (kept at MinNeighborSim=0.1); |A|=4, |B|=8,
+	// inter=1 -> 1/11 (dropped).
+	mkTable := func(id string, header string, cells []string) *wtable.Table {
+		tb := &wtable.Table{ID: id}
+		tb.HeaderRows = append(tb.HeaderRows, row(header))
+		for _, c := range cells {
+			tb.BodyRows = append(tb.BodyRows, row(c))
+		}
+		return tb
+	}
+	a := mkTable("a", "alpha", []string{"shared", "a1", "a2", "a3"})
+	b := mkTable("b", "beta", []string{"shared", "b1", "b2", "b3", "b4", "b5", "b6"})
+	c := mkTable("c", "gamma", []string{"shared", "c1", "c2", "c3", "c4", "c5", "c6", "c7"})
+
+	p := DefaultParams()
+	p.MinNeighborSim = 0.1
+	builder := &Builder{Params: p, Stats: constStats{}, Views: NewViewCache(), Pairs: NewPairSimCache(0)}
+	m := builder.Build([]string{"alpha", "beta"}, []*wtable.Table{a, b, c})
+	checkEdgesEquiv(t, m, "boundary")
+
+	found := map[[2]int]float64{}
+	for _, re := range m.rawEdges {
+		found[[2]int{re.t1, re.t2}] = re.sim
+	}
+	// a-b: 1/10 = 0.1 exactly -> kept. a-c: 1/11 < 0.1 -> dropped.
+	if s, ok := found[[2]int{0, 1}]; !ok || s != 0.1 {
+		t.Errorf("a-b edge at the exact threshold missing or wrong: %v %v", s, ok)
+	}
+	if _, ok := found[[2]int{0, 2}]; ok {
+		t.Error("a-c edge below the threshold survived")
+	}
+}
+
+// TestBuildRawEdgesDummyMatchedColumns pins the dummy-match behavior: when
+// the assignment pairs columns through zero-weight cells (no similarity
+// above threshold between them), no raw edge is marked matched for them.
+func TestBuildRawEdgesDummyMatchedColumns(t *testing.T) {
+	// Tables with 2 columns each; only (0,0) is similar. The matching
+	// will pair column 1 with column 1 at weight 0 — there is no raw edge
+	// for that pair, so nothing extra may be marked.
+	t1 := &wtable.Table{ID: "x"}
+	t1.HeaderRows = append(t1.HeaderRows, row("name", "other"))
+	t1.BodyRows = append(t1.BodyRows, row("shared", "u1"), row("also", "u2"))
+	t2 := &wtable.Table{ID: "y"}
+	t2.HeaderRows = append(t2.HeaderRows, row("name", "different"))
+	t2.BodyRows = append(t2.BodyRows, row("shared", "v1"), row("also", "v2"))
+
+	builder := &Builder{Params: DefaultParams(), Stats: constStats{}, Views: NewViewCache(), Pairs: NewPairSimCache(0)}
+	m := builder.Build([]string{"name"}, []*wtable.Table{t1, t2})
+	checkEdgesEquiv(t, m, "dummy-matched")
+
+	for _, re := range m.rawEdges {
+		if re.c1 != 0 || re.c2 != 0 {
+			t.Errorf("unexpected raw edge between dissimilar columns: %+v", re)
+		}
+	}
+	if len(m.rawEdges) != 1 || !m.rawEdges[0].matched {
+		t.Fatalf("want exactly one matched raw edge for (0,0), got %+v", m.rawEdges)
+	}
+}

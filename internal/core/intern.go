@@ -1,0 +1,91 @@
+package core
+
+import (
+	"slices"
+	"sync"
+)
+
+// Interner assigns dense uint32 IDs to strings so that set operations on
+// analyzed text (cell values, header tokens) become integer comparisons
+// over sorted slices instead of map probes over strings. IDs are only
+// meaningful within one interner: two TableViews may be compared by
+// ContentSim/HeaderSim only when both were built against the same
+// interner. ViewCache owns one per engine; Builder.Build creates a
+// build-local one when it runs cacheless.
+//
+// Interning is concurrency-safe (views are analyzed from a worker pool)
+// and append-only: the table grows with the vocabulary it sees and is
+// never evicted, which is bounded by the corpus for engine-driven use.
+type Interner struct {
+	mu  sync.RWMutex
+	ids map[string]uint32
+}
+
+// NewInterner returns an empty symbol table.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint32)}
+}
+
+// Intern returns the stable ID of s, assigning the next free one on first
+// sight.
+func (in *Interner) Intern(s string) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	id, ok = in.ids[s]
+	if !ok {
+		id = uint32(len(in.ids))
+		in.ids[s] = id
+	}
+	in.mu.Unlock()
+	return id
+}
+
+// Len returns the number of interned strings.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.ids)
+}
+
+// sortedIDSet sorts ids in place, removes duplicates, and returns the
+// shrunk slice — the canonical set representation the sorted-slice
+// intersections below operate on.
+func sortedIDSet(ids []uint32) []uint32 {
+	slices.Sort(ids)
+	out := slices.Compact(ids)
+	// Cached views retain these sets for the engine's lifetime; when dedup
+	// shrank the set to under half the backing array (heavily duplicated
+	// columns), reallocate tight so the oversized array can be freed.
+	if len(out)*2 < cap(ids) {
+		out = slices.Clone(out)
+	}
+	return out
+}
+
+// jaccardSortedIDs is the Jaccard similarity of two sorted unique ID
+// slices: |a∩b| / |a∪b|, allocation-free.
+func jaccardSortedIDs(a, b []uint32) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}

@@ -64,20 +64,25 @@ type rawEdge struct {
 // Params.UsePMI is false — when set, it is probed from Build's worker pool
 // and must be safe for concurrent calls. Views, when set, memoizes
 // TableView construction across builds (see ViewCache for the sharing
-// rules).
+// rules). Pairs, when set, memoizes per-table-pair column similarities and
+// matching survivors across builds; it requires Views (pair keys are view
+// identities, so uncached fresh views would miss forever) and the same
+// pair-affecting params on every sharing builder (see PairSimCache).
 type Builder struct {
 	Params Params
 	Stats  CorpusStats
 	PMI    PMISource
 	Views  *ViewCache
+	Pairs  *PairSimCache
 }
 
-// viewFor returns the (possibly cached) analyzed view of one table.
-func (b *Builder) viewFor(t *wtable.Table) *TableView {
+// viewFor returns the (possibly cached) analyzed view of one table,
+// interning into the cache's symbol table or the build-local one.
+func (b *Builder) viewFor(t *wtable.Table, in *Interner) *TableView {
 	if b.Views != nil {
 		return b.Views.view(t, b.Params, b.Stats)
 	}
-	return NewTableView(t, b.Params, b.Stats)
+	return NewTableView(t, b.Params, b.Stats, in)
 }
 
 // Build assembles the full graphical model: analyzed query, table views,
@@ -105,11 +110,17 @@ func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 	}
 
 	q := m.NumQ
+	// Cacheless builds still need one interner shared by every view in the
+	// model, or cross-view similarities would compare unrelated IDs.
+	var in *Interner
+	if b.Views == nil {
+		in = NewInterner()
+	}
 	m.Views = make([]*TableView, len(tables))
 	m.Feats = make([][][]Features, len(tables))
 	m.Rel = make([]float64, len(tables))
 	parallelFor(len(tables), func(ti int) {
-		v := b.viewFor(tables[ti])
+		v := b.viewFor(tables[ti], in)
 		m.Views[ti] = v
 		nt := v.NumCols
 		feats := make([][]Features, nt)
@@ -132,7 +143,14 @@ func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 	})
 	m.computeNodes()
 	m.computeStage1()
-	m.buildRawEdges()
+	// Without a view cache every build mints fresh view IDs, so a pair
+	// cache could never hit — bypass it instead of polluting it with
+	// permanently dead entries.
+	pairs := b.Pairs
+	if b.Views == nil {
+		pairs = nil
+	}
+	m.buildRawEdges(pairs)
 	m.finalizeEdges()
 	return m
 }
@@ -262,84 +280,82 @@ func (m *Model) computeStage1() {
 	})
 }
 
-// columnRef addresses one column of one table.
-type columnRef struct{ t, c int }
-
 // buildRawEdges realizes the weight-independent part of §3.3: content
 // similarity between cross-table column pairs, normalization against each
 // column's neighborhood, and the one-one max-matching per table pair.
-func (m *Model) buildRawEdges() {
+//
+// The per-pair work — the Jaccard grid and the blended max-matching — is
+// independent across table pairs, so it fans out over the worker pool
+// (served from cache when one is wired), each pair writing only its own
+// slot. The query-dependent part — summing each column's neighborhood
+// denominator and normalizing — runs as a deterministic serial merge over
+// the slots in (t1, t2, c1, c2) order, the exact accumulation order of the
+// old serial map-based path, so float sums stay bit-identical. The denom /
+// edge-index maps of that path are replaced by flat arrays indexed by
+// global column offsets.
+func (m *Model) buildRawEdges(cache *PairSimCache) {
 	p := m.Params
 	n := len(m.Views)
 	if n < 2 {
 		return
 	}
-	type pairSim struct {
-		a, b columnRef
-		sim  float64
+	// colOff[t] is the global offset of table t's first column.
+	colOff := make([]int, n+1)
+	for t, v := range m.Views {
+		colOff[t+1] = colOff[t] + v.NumCols
 	}
-	var sims []pairSim
-	denom := make(map[columnRef]float64)
+
+	type tablePair struct{ t1, t2 int }
+	pairs := make([]tablePair, 0, n*(n-1)/2)
 	for t1 := 0; t1 < n; t1++ {
 		for t2 := t1 + 1; t2 < n; t2++ {
-			for c1 := 0; c1 < m.Views[t1].NumCols; c1++ {
-				for c2 := 0; c2 < m.Views[t2].NumCols; c2++ {
-					s := ContentSim(m.Views[t1], m.Views[t2], c1, c2)
-					if s < p.MinNeighborSim {
-						continue
-					}
-					a := columnRef{t1, c1}
-					b := columnRef{t2, c2}
-					sims = append(sims, pairSim{a, b, s})
-					denom[a] += s
-					denom[b] += s
-				}
-			}
+			pairs = append(pairs, tablePair{t1, t2})
 		}
 	}
-	if len(sims) == 0 {
+	slots := make([][]colPairSim, len(pairs))
+	parallelFor(len(pairs), func(i int) {
+		pr := pairs[i]
+		if cache != nil {
+			slots[i] = cache.pairs(m.Views[pr.t1], m.Views[pr.t2], p)
+		} else {
+			slots[i] = computePairSims(m.Views[pr.t1], m.Views[pr.t2], p)
+		}
+	})
+
+	total := 0
+	for _, s := range slots {
+		total += len(s)
+	}
+	if total == 0 {
 		return
 	}
-	// Every similar pair becomes a raw edge (the naive Potts ablations use
-	// them all); the one-one max-matching below marks the survivors the
-	// custom potential keeps.
-	edgeIdx := make(map[[2]columnRef]int, len(sims))
-	tablePairs := make(map[[2]int][]pairSim)
-	for _, ps := range sims {
-		edgeIdx[[2]columnRef{ps.a, ps.b}] = len(m.rawEdges)
-		m.rawEdges = append(m.rawEdges, rawEdge{
-			t1: ps.a.t, c1: ps.a.c, t2: ps.b.t, c2: ps.b.c,
-			nsimAB: ps.sim / (p.Lambda + denom[ps.a]),
-			nsimBA: ps.sim / (p.Lambda + denom[ps.b]),
-			sim:    ps.sim,
-		})
-		key := [2]int{ps.a.t, ps.b.t}
-		tablePairs[key] = append(tablePairs[key], ps)
+	// Neighborhood denominators depend on the whole candidate set, so they
+	// stay query-side: accumulate over every surviving pair first, then
+	// normalize.
+	denom := make([]float64, colOff[n])
+	for i, s := range slots {
+		pr := pairs[i]
+		off1, off2 := colOff[pr.t1], colOff[pr.t2]
+		for _, e := range s {
+			denom[off1+int(e.c1)] += e.sim
+			denom[off2+int(e.c2)] += e.sim
+		}
 	}
-	// One-one matching per table pair over blended content+header
-	// similarity.
-	for key, pairs := range tablePairs {
-		t1, t2 := key[0], key[1]
-		n1, n2 := m.Views[t1].NumCols, m.Views[t2].NumCols
-		w := make([][]float64, n1)
-		wBacking := make([]float64, n1*n2)
-		for i := range w {
-			w[i] = wBacking[i*n2 : (i+1)*n2]
-		}
-		for _, ps := range pairs {
-			blend := p.MatchContentWeight*ps.sim +
-				p.MatchHeaderWeight*HeaderSim(m.Views[t1], m.Views[t2], ps.a.c, ps.b.c)
-			w[ps.a.c][ps.b.c] = blend
-		}
-		// Assignment balances unequal sides with a dummy node internally.
-		sol := graph.SolveAssignment(ones(n1), ones(n2), w)
-		for c1, c2 := range sol.MatchL {
-			if c2 < 0 {
-				continue
-			}
-			if idx, ok := edgeIdx[[2]columnRef{{t1, c1}, {t2, c2}}]; ok {
-				m.rawEdges[idx].matched = true
-			}
+	// Every similar pair becomes a raw edge (the naive Potts ablations use
+	// them all); matched marks the max-matching survivors the custom
+	// potential keeps.
+	m.rawEdges = make([]rawEdge, 0, total)
+	for i, s := range slots {
+		pr := pairs[i]
+		off1, off2 := colOff[pr.t1], colOff[pr.t2]
+		for _, e := range s {
+			m.rawEdges = append(m.rawEdges, rawEdge{
+				t1: pr.t1, c1: int(e.c1), t2: pr.t2, c2: int(e.c2),
+				nsimAB:  e.sim / (p.Lambda + denom[off1+int(e.c1)]),
+				nsimBA:  e.sim / (p.Lambda + denom[off2+int(e.c2)]),
+				sim:     e.sim,
+				matched: e.matched,
+			})
 		}
 	}
 }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"wwt/internal/graph"
+)
+
+// colPairSim is one cross-view column pair whose content similarity
+// cleared MinNeighborSim: c1 indexes the first view of the pair, c2 the
+// second, sim is the raw content Jaccard, and matched marks survival of
+// the blended content+header one-one max-matching between the two views
+// (§3.3, "Max-matching Edges"). Everything here depends only on the view
+// pair and the pair-affecting params — never on the query — which is what
+// makes it cacheable across queries.
+type colPairSim struct {
+	c1, c2  int32
+	sim     float64
+	matched bool
+}
+
+// computePairSims evaluates the full column-similarity grid between views
+// a and b, keeps the pairs at or above p.MinNeighborSim in (c1, c2) order,
+// and solves the blended one-one max-matching that marks the surviving
+// pairs. A size-ratio early-out skips the merge when even full containment
+// (|small|/|large|) could not reach the threshold. Orientation matters for
+// tie-breaking inside the assignment solve, so callers must present (a, b)
+// in the orientation they will consume the result in.
+func computePairSims(a, b *TableView, p Params) []colPairSim {
+	n1, n2 := a.NumCols, b.NumCols
+	var out []colPairSim
+	for c1 := 0; c1 < n1; c1++ {
+		ids1 := a.ColCellIDs[c1]
+		for c2 := 0; c2 < n2; c2++ {
+			ids2 := b.ColCellIDs[c2]
+			var s float64
+			if len(ids1) > 0 && len(ids2) > 0 {
+				lo, hi := len(ids1), len(ids2)
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				// Max achievable Jaccard is |small|/|large| (full
+				// containment); division is monotone, so the bound is exact.
+				if float64(lo)/float64(hi) < p.MinNeighborSim {
+					continue
+				}
+				s = jaccardSortedIDs(ids1, ids2)
+			}
+			if s < p.MinNeighborSim {
+				continue
+			}
+			out = append(out, colPairSim{c1: int32(c1), c2: int32(c2), sim: s})
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	// One-one matching over blended content+header similarity; pairs below
+	// the neighbor threshold stay zero-weight cells, exactly like the
+	// query-time path always built them.
+	w := make([][]float64, n1)
+	wBacking := make([]float64, n1*n2)
+	for i := range w {
+		w[i] = wBacking[i*n2 : (i+1)*n2]
+	}
+	for i := range out {
+		e := &out[i]
+		w[e.c1][e.c2] = p.MatchContentWeight*e.sim +
+			p.MatchHeaderWeight*HeaderSim(a, b, int(e.c1), int(e.c2))
+	}
+	sol := graph.SolveAssignment(ones(n1), ones(n2), w)
+	for i := range out {
+		e := &out[i]
+		if sol.MatchL[e.c1] == int(e.c2) {
+			e.matched = true
+		}
+	}
+	return out
+}
+
+// PairSimCache is a bounded, concurrency-safe LRU over the per-table-pair
+// column-similarity lists of computePairSims. Candidate sets overlap
+// heavily across queries, and the similarity grid plus the max-matching
+// solve depend only on the two views and the pair-affecting params
+// (MinNeighborSim, MatchContentWeight, MatchHeaderWeight) — all fixed for
+// the lifetime of an engine. Sharing a cache between builders whose
+// pair-affecting params differ is a caller bug, as is mixing views from
+// different interners (keying is by view identity, which ViewCache makes
+// stable per table).
+//
+// Entries are keyed by the ordered view-ID pair as presented, not by a
+// canonicalized pair: assignment tie-breaking depends on which view plays
+// the left side, and keeping both orientations distinct pins each one
+// hit-for-hit to what the uncached path computes. Cached slices are shared
+// and read-only.
+type PairSimCache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recent; values are *pairSimEntry
+	m   map[pairSimKey]*list.Element
+
+	hits, misses uint64
+}
+
+type pairSimKey struct{ a, b uint64 }
+
+type pairSimEntry struct {
+	key   pairSimKey
+	pairs []colPairSim
+}
+
+// DefaultPairSimCacheSize bounds the cache when NewPairSimCache is given a
+// non-positive capacity. At the default probe width (~40 candidates, ~800
+// pairs per query) it holds the working set of tens of distinct queries.
+const DefaultPairSimCacheSize = 1 << 15
+
+// NewPairSimCache returns an LRU of at most capacity view pairs.
+func NewPairSimCache(capacity int) *PairSimCache {
+	if capacity <= 0 {
+		capacity = DefaultPairSimCacheSize
+	}
+	return &PairSimCache{
+		cap: capacity,
+		lru: list.New(),
+		// No capacity hint: the map grows with actual use, so short-lived
+		// caches don't pay for the full bound up front.
+		m: make(map[pairSimKey]*list.Element),
+	}
+}
+
+// pairs returns computePairSims(a, b, p), memoized on the (a, b) view-ID
+// pair.
+func (c *PairSimCache) pairs(a, b *TableView, p Params) []colPairSim {
+	key := pairSimKey{a.id, b.id}
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		ps := el.Value.(*pairSimEntry).pairs
+		c.hits++
+		c.mu.Unlock()
+		return ps
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compute outside the lock: the Jaccard grid and the assignment solve
+	// are the expensive part, and computePairSims is a pure function of
+	// (a, b, p), so a racing duplicate insert holds an identical value.
+	ps := computePairSims(a, b, p)
+
+	c.mu.Lock()
+	if _, ok := c.m[key]; !ok {
+		c.m[key] = c.lru.PushFront(&pairSimEntry{key: key, pairs: ps})
+		if c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.m, oldest.Value.(*pairSimEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return ps
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *PairSimCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached view pairs.
+func (c *PairSimCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"wwt/internal/text"
 	"wwt/internal/wtable"
@@ -36,9 +37,18 @@ func AnalyzeQuery(cols []string, stats CorpusStats) []QueryColumn {
 
 // TableView caches every piece of analyzed text the features touch, so
 // that feature computation stays pure and allocation-light.
+//
+// The ID-based column sets (ColCellIDs, HeaderIDs) are interned: two views
+// may be compared by ContentSim/HeaderSim only when both were built
+// against the same Interner (ViewCache and Builder.Build guarantee this
+// for every view inside one model).
 type TableView struct {
 	Table   *wtable.Table
 	NumCols int
+
+	// id is process-unique, assigned at view build; PairSimCache keys
+	// view pairs by it.
+	id uint64
 
 	// HeaderTokens[r][c]: normalized tokens of header row r, column c.
 	HeaderTokens [][][]string
@@ -58,18 +68,30 @@ type TableView struct {
 	ContextScore map[string]float64
 	FreqBody     map[string]bool // tokens frequent in some column (B part)
 
-	// ColCellSet[c]: set of normalized whole-cell strings of column c
-	// (drives content-overlap similarity).
-	ColCellSet []map[string]bool
+	// ColCellIDs[c]: sorted interned IDs of the normalized whole-cell
+	// strings of column c (drives content-overlap similarity).
+	ColCellIDs [][]uint32
 	// ColTokens[c]: all normalized body tokens of column c.
 	ColTokens [][]string
 	// HeaderConcat[c]: all header tokens of column c, rows concatenated.
 	HeaderConcat [][]string
+	// HeaderIDs[c]: sorted interned IDs of the unique tokens of
+	// HeaderConcat[c] (drives header similarity).
+	HeaderIDs [][]uint32
 }
 
-// NewTableView analyzes a table once against the corpus statistics.
-func NewTableView(t *wtable.Table, p Params, stats CorpusStats) *TableView {
-	v := &TableView{Table: t, NumCols: t.NumCols()}
+// viewIDs issues the process-unique TableView IDs.
+var viewIDs atomic.Uint64
+
+// NewTableView analyzes a table once against the corpus statistics,
+// interning cell strings and header tokens into in. A nil interner gets a
+// private one — safe only when the view is never compared against another
+// view (cross-view similarities require a shared interner).
+func NewTableView(t *wtable.Table, p Params, stats CorpusStats, in *Interner) *TableView {
+	if in == nil {
+		in = NewInterner()
+	}
+	v := &TableView{Table: t, NumCols: t.NumCols(), id: viewIDs.Add(1)}
 	h := len(t.HeaderRows)
 	v.HeaderTokens = make([][][]string, h)
 	v.headerSet = make([][]map[string]bool, h)
@@ -116,13 +138,14 @@ func NewTableView(t *wtable.Table, p Params, stats CorpusStats) *TableView {
 		}
 	}
 
-	v.ColCellSet = make([]map[string]bool, v.NumCols)
+	v.ColCellIDs = make([][]uint32, v.NumCols)
 	v.ColTokens = make([][]string, v.NumCols)
 	v.HeaderConcat = make([][]string, v.NumCols)
+	v.HeaderIDs = make([][]uint32, v.NumCols)
 	v.FreqBody = make(map[string]bool)
 	rows := len(t.BodyRows)
 	for c := 0; c < v.NumCols; c++ {
-		cellSet := make(map[string]bool)
+		cellIDs := make([]uint32, 0, rows)
 		counts := make(map[string]int)
 		var colToks []string
 		for r := 0; r < rows; r++ {
@@ -133,7 +156,7 @@ func NewTableView(t *wtable.Table, p Params, stats CorpusStats) *TableView {
 			toks := text.Normalize(cell)
 			colToks = append(colToks, toks...)
 			if key := strings.Join(toks, " "); key != "" {
-				cellSet[key] = true
+				cellIDs = append(cellIDs, in.Intern(key))
 			}
 			seen := make(map[string]bool, len(toks))
 			for _, w := range toks {
@@ -143,11 +166,16 @@ func NewTableView(t *wtable.Table, p Params, stats CorpusStats) *TableView {
 				}
 			}
 		}
-		v.ColCellSet[c] = cellSet
+		v.ColCellIDs[c] = sortedIDSet(cellIDs)
 		v.ColTokens[c] = colToks
 		for r := 0; r < len(v.HeaderTokens); r++ {
 			v.HeaderConcat[c] = append(v.HeaderConcat[c], v.HeaderTokens[r][c]...)
 		}
+		hids := make([]uint32, 0, len(v.HeaderConcat[c]))
+		for _, w := range v.HeaderConcat[c] {
+			hids = append(hids, in.Intern(w))
+		}
+		v.HeaderIDs[c] = sortedIDSet(hids)
 		// Frequent tokens of this column feed the B part of outSim.
 		if rows > 0 {
 			for w, n := range counts {
@@ -197,29 +225,18 @@ func (v *TableView) otherHeaderColsHave(r, c int, w string) bool {
 }
 
 // ContentSim is the content-overlap similarity between two columns: the
-// Jaccard similarity of their normalized whole-cell sets.
+// Jaccard similarity of their normalized whole-cell sets, computed as an
+// allocation-free merge over the views' sorted interned cell IDs. Both
+// views must share one Interner.
 func ContentSim(a, b *TableView, ca, cb int) float64 {
-	sa, sb := a.ColCellSet[ca], b.ColCellSet[cb]
-	if len(sa) == 0 || len(sb) == 0 {
-		return 0
-	}
-	inter := 0
-	small, large := sa, sb
-	if len(sb) < len(sa) {
-		small, large = sb, sa
-	}
-	for k := range small {
-		if large[k] {
-			inter++
-		}
-	}
-	union := len(sa) + len(sb) - inter
-	return float64(inter) / float64(union)
+	return jaccardSortedIDs(a.ColCellIDs[ca], b.ColCellIDs[cb])
 }
 
-// HeaderSim is the token-set Jaccard of two columns' concatenated headers.
+// HeaderSim is the token-set Jaccard of two columns' concatenated headers,
+// over the views' sorted interned header-token IDs. Both views must share
+// one Interner.
 func HeaderSim(a, b *TableView, ca, cb int) float64 {
-	return text.JaccardTokens(a.HeaderConcat[ca], b.HeaderConcat[cb])
+	return jaccardSortedIDs(a.HeaderIDs[ca], b.HeaderIDs[cb])
 }
 
 func toSet(toks []string) map[string]bool {

@@ -21,14 +21,23 @@ import (
 // those tables), but callers streaming endless fresh tables through
 // Engine.MapColumns grow it with them.
 type ViewCache struct {
+	// in is the cache's symbol table: every view built through the cache
+	// interns into it, so any two cached views are mutually comparable by
+	// ContentSim/HeaderSim.
+	in *Interner
+
 	mu sync.RWMutex
 	m  map[*wtable.Table]*TableView
 }
 
-// NewViewCache returns an empty cache.
+// NewViewCache returns an empty cache with its own interner.
 func NewViewCache() *ViewCache {
-	return &ViewCache{m: make(map[*wtable.Table]*TableView)}
+	return &ViewCache{in: NewInterner(), m: make(map[*wtable.Table]*TableView)}
 }
+
+// Interner exposes the cache's shared symbol table (e.g. to build an
+// ad-hoc view comparable against cached ones).
+func (vc *ViewCache) Interner() *Interner { return vc.in }
 
 // Len returns the number of cached views.
 func (vc *ViewCache) Len() int {
@@ -45,7 +54,7 @@ func (vc *ViewCache) view(t *wtable.Table, p Params, stats CorpusStats) *TableVi
 	if ok {
 		return v
 	}
-	v = NewTableView(t, p, stats)
+	v = NewTableView(t, p, stats, vc.in)
 	vc.mu.Lock()
 	// A racing builder may have inserted first; keep one winner so every
 	// model in flight shares the same view instance.

@@ -38,6 +38,10 @@ type Query struct {
 // DefaultOptions.
 type Options struct {
 	// Params are the column-mapper parameters (weights, reliabilities...).
+	// They are fixed at engine construction: the engine's cross-query
+	// caches (table views, pair similarities) bake the view- and
+	// pair-affecting fields in, so mutating Opts.Params on a live engine
+	// yields stale results — build a new engine to change params.
 	Params core.Params
 	// Algorithm selects the collective inference method (§4). The paper's
 	// recommendation — and the default — is the table-centric algorithm.
@@ -106,6 +110,7 @@ type Engine struct {
 	searcher *index.Searcher
 	docsets  *index.DocSetCache
 	views    *core.ViewCache
+	pairs    *core.PairSimCache
 }
 
 // NewEngine indexes the given tables and returns a ready engine. opts may
@@ -144,6 +149,7 @@ func NewEngineFrom(ix *index.Index, st *index.Store, opts *Options) *Engine {
 		searcher: s,
 		docsets:  index.NewDocSetCache(s, 0),
 		views:    core.NewViewCache(),
+		pairs:    core.NewPairSimCache(0),
 	}
 }
 
@@ -160,9 +166,10 @@ func (e *Engine) search(tokens []string, k int) []index.Hit {
 }
 
 // builder returns a model builder wired to the engine's corpus statistics,
-// cached PMI doc sets and shared table-view cache.
+// cached PMI doc sets, shared table-view cache and cross-query pair-
+// similarity cache.
 func (e *Engine) builder() *core.Builder {
-	return &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource(), Views: e.views}
+	return &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource(), Views: e.views, Pairs: e.pairs}
 }
 
 // PMISource exposes the engine's index as the co-occurrence source for the
@@ -263,15 +270,24 @@ func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error)
 		h.Write([]byte(c))
 	}
 	rng := rand.New(rand.NewSource(int64(h.Sum64())))
-	sample := tokens
-	for _, sc := range confident {
+	// Probe-2 tokens get their own backing array — appending to an alias
+	// of tokens could grow into (and later clobber) tokens' array — sized
+	// for the sampled cells at a guessed couple of tokens each.
+	takes := make([]int, len(confident))
+	capHint := len(tokens)
+	for i, sc := range confident {
 		tb := tables[sc.ti]
-		rows := tb.NumBodyRows()
-		take := e.Opts.SecondProbeRows
-		if take > rows {
-			take = rows
+		takes[i] = e.Opts.SecondProbeRows
+		if rows := tb.NumBodyRows(); takes[i] > rows {
+			takes[i] = rows
 		}
-		for _, r := range rng.Perm(rows)[:take] {
+		capHint += takes[i] * tb.NumCols() * 2
+	}
+	sample := make([]string, len(tokens), capHint)
+	copy(sample, tokens)
+	for i, sc := range confident {
+		tb := tables[sc.ti]
+		for _, r := range sampleRows(rng, tb.NumBodyRows(), takes[i]) {
 			for c := 0; c < tb.NumCols(); c++ {
 				sample = append(sample, text.Normalize(tb.Body(r, c))...)
 			}
@@ -297,6 +313,32 @@ func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error)
 		tm.Read2 = time.Since(start)
 	}
 	return tables, true, nil
+}
+
+// sampleRows draws take distinct row indices from [0, rows) with a sparse
+// partial Fisher–Yates: only the displaced slots of the virtual identity
+// permutation are materialized, so the cost is O(take) draws and memory
+// instead of the O(rows) array a full rng.Perm would allocate. The draw
+// sequence deliberately differs from rng.Perm's (take Intn calls instead
+// of rows), so sampled rows changed once when this replaced Perm — the
+// sample stays deterministic per query seed.
+func sampleRows(rng *rand.Rand, rows, take int) []int {
+	out := make([]int, take)
+	displaced := make(map[int]int, 2*take)
+	for i := 0; i < take; i++ {
+		j := i + rng.Intn(rows-i)
+		vj, ok := displaced[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := displaced[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		displaced[j] = vi
+	}
+	return out
 }
 
 func (e *Engine) readTables(hits []index.Hit) []*wtable.Table {

@@ -73,6 +73,61 @@ func TestAnswerConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestAnswerConcurrentPairSimCache hammers the cross-query pair-similarity
+// cache (run under -race): the queries share candidate tables, so many
+// goroutines look up — and race to populate — the same view-pair entries,
+// and every goroutine must still see the exact same model edges.
+func TestAnswerConcurrentPairSimCache(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping two-column queries over the same currency tables: every
+	// query's candidate set shares table pairs with the others.
+	queries := []wwt.Query{
+		{Columns: []string{"country", "currency"}},
+		{Columns: []string{"currency", "country"}},
+		{Columns: []string{"country"}},
+		{Columns: []string{"currency"}},
+		{Columns: []string{"name", "area"}},
+	}
+	ref := make([]*wwt.Result, len(queries))
+	for i, q := range queries {
+		res, err := eng.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = res
+	}
+
+	const goroutines = 16
+	const rounds = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (g*7 + r) % len(queries)
+				res, err := eng.Answer(queries[qi])
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if !reflect.DeepEqual(res.Model.Edges, ref[qi].Model.Edges) {
+					t.Errorf("goroutine %d query %d: model edges diverged", g, qi)
+					return
+				}
+				if !reflect.DeepEqual(res.Labeling.Y, ref[qi].Labeling.Y) {
+					t.Errorf("goroutine %d query %d: labeling diverged", g, qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 // TestEngineProbeMatchesMapScorer pins the engine's frozen-searcher probe
 // to the reference map-based scorer at the API level: same hits, same
 // order, same scores.
