@@ -147,6 +147,31 @@ func BenchmarkFig7QueryPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7QueryPipelinePooled is the steady-state serving variant of
+// the full pipeline: each query releases its arena back to the engine
+// pool, so warm-pool Answer runs with the scratch buffers of earlier
+// queries instead of fresh allocations.
+func BenchmarkFig7QueryPipelinePooled(b *testing.B) {
+	w := getWorld(b)
+	// Warm the pool across the whole workload before measuring.
+	for _, q := range w.queries {
+		res, err := w.engine.Answer(wwt.Query{Columns: q.Columns})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.queries[i%len(w.queries)]
+		res, err := w.engine.Answer(wwt.Query{Columns: q.Columns})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+}
+
 // BenchmarkFig8Segmentation and BenchmarkFig8Unsegmented compare the cost
 // of model building under the segmented similarity (Eq. 1) and the plain
 // unsegmented cosine of §5.2.
@@ -163,7 +188,10 @@ func benchModelBuild(b *testing.B, unsegmented bool) {
 	w := getWorld(b)
 	params := w.engine.Opts.Params
 	params.Unsegmented = unsegmented
-	builder := &core.Builder{Params: params, Stats: w.engine.Index, PMI: w.engine.PMISource()}
+	// Fig 8 deliberately builds cacheless (a params sweep can't share view
+	// caches), but a sweep CAN share one interner across configurations —
+	// the symbol table is pure content addressing.
+	builder := &core.Builder{Params: params, Stats: w.engine.Index, PMI: w.engine.PMISource(), Interner: core.NewInterner()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		qi := i % len(w.queries)

@@ -78,10 +78,11 @@ func main() {
 	}
 	fmt.Printf("candidates: %d tables (probe2 used: %v), relevant: %d, answer rows: %d\n",
 		len(res.Tables), res.UsedProbe2, relevant, len(res.Answer.Rows))
-	fmt.Printf("timings: probe %.1fms, read %.1fms, column-map %.1fms, consolidate %.1fms\n\n",
+	fmt.Printf("timings: probe %.1fms, read %.1fms, column-map %.1fms, infer %.1fms, consolidate %.1fms\n\n",
 		float64((res.Timings.Probe1+res.Timings.Probe2).Microseconds())/1000,
 		float64((res.Timings.Read1+res.Timings.Read2).Microseconds())/1000,
 		float64(res.Timings.ColumnMap.Microseconds())/1000,
+		float64(res.Timings.Infer.Microseconds())/1000,
 		float64(res.Timings.Consolidate.Microseconds())/1000)
 
 	printRow(cols, "support")

@@ -42,23 +42,55 @@ type Answer struct {
 	Sources []string
 }
 
+// keyedRow pairs a row's key tokens with its answer-row index for the
+// fuzzy key matching.
+type keyedRow struct {
+	keyTokens []string
+	row       int // index into ans.Rows
+}
+
+// Scratch is the reusable working state of one consolidation: the exact
+// and fuzzy key indexes plus the per-table column mapping. Only the
+// returned Answer survives a call (it is always freshly allocated), so a
+// Scratch may be reused as soon as Consolidate returns. The zero value is
+// ready to use.
+type Scratch struct {
+	exact  map[string]int
+	fuzzy  []keyedRow
+	colFor []int
+}
+
 // Consolidate merges the rows of all tables marked relevant by the
 // labeling. conf[t][c] supplies per-column confidence (may be nil: uniform
 // 1); relevance[t] supplies table scores (may be nil: uniform 1).
 func Consolidate(q int, tables []*wtable.Table, l core.Labeling, conf [][]float64, relevance []float64, opts Options) *Answer {
-	ans := &Answer{NumCols: q}
-	type keyedRow struct {
-		keyTokens []string
-		row       int // index into ans.Rows
+	return ConsolidateScratch(q, tables, l, conf, relevance, opts, nil)
+}
+
+// ConsolidateScratch is Consolidate through a caller-owned scratch (nil
+// for a fresh private one).
+func ConsolidateScratch(q int, tables []*wtable.Table, l core.Labeling, conf [][]float64, relevance []float64, opts Options, s *Scratch) *Answer {
+	if s == nil {
+		s = &Scratch{}
 	}
-	exact := make(map[string]int) // normalized key -> row index
-	var fuzzy []keyedRow
+	ans := &Answer{NumCols: q}
+	if s.exact == nil {
+		s.exact = make(map[string]int)
+	}
+	clear(s.exact)
+	exact := s.exact // normalized key -> row index
+	fuzzy := s.fuzzy[:0]
+	defer func() { s.fuzzy = fuzzy }()
+
+	if cap(s.colFor) < q {
+		s.colFor = make([]int, q)
+	}
 
 	for ti, tb := range tables {
 		if ti >= len(l.Y) || !l.Relevant(ti) {
 			continue
 		}
-		colFor := make([]int, q)
+		colFor := s.colFor[:q]
 		for ell := 0; ell < q; ell++ {
 			colFor[ell] = l.ColumnOf(ti, ell)
 		}

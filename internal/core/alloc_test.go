@@ -1,0 +1,40 @@
+package core
+
+import "testing"
+
+// Allocation regression guards for the zero-alloc claims the ROADMAP
+// makes: the interned sorted-set similarities must stay allocation-free —
+// they run inside the O(T²·C²) pair grid, where a single allocation per
+// call would dominate the edge-construction cost.
+
+func TestContentSimZeroAlloc(t *testing.T) {
+	a := view(table("a", [][]string{{"Country", "Currency"}},
+		[][]string{{"France", "Euro"}, {"Japan", "Yen"}, {"Brazil", "Real"}}, ""))
+	b := view(table("b", [][]string{{"Nation", "Currency"}},
+		[][]string{{"France", "Euro"}, {"India", "Rupee"}, {"Japan", "Yen"}}, ""))
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += ContentSim(a, b, 0, 0)
+		sink += ContentSim(a, b, 1, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("ContentSim allocates %.0f/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestHeaderSimZeroAlloc(t *testing.T) {
+	a := view(table("a", [][]string{{"Country Name", "Currency Unit"}},
+		[][]string{{"France", "Euro"}}, ""))
+	b := view(table("b", [][]string{{"Name of Country", "Currency"}},
+		[][]string{{"Japan", "Yen"}}, ""))
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += HeaderSim(a, b, 0, 0)
+		sink += HeaderSim(a, b, 1, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("HeaderSim allocates %.0f/op, want 0", allocs)
+	}
+	_ = sink
+}

@@ -187,21 +187,34 @@ func TestCoverPartialHeaderMatch(t *testing.T) {
 
 func TestTableRelevanceClip(t *testing.T) {
 	// q=2: threshold 1.5. Sum of best covers 1.0 -> clipped to 0.
-	cover := [][]float64{{0.5, 0.0}, {0.0, 0.5}}
+	cover := coverFeats([][]float64{{0.5, 0.0}, {0.0, 0.5}})
 	if r := tableRelevance(cover, 2); r != 0 {
 		t.Errorf("R = %f, want 0 (below clip)", r)
 	}
-	cover = [][]float64{{1.0, 0.0}, {0.0, 0.8}}
+	cover = coverFeats([][]float64{{1.0, 0.0}, {0.0, 0.8}})
 	if r := tableRelevance(cover, 2); math.Abs(r-0.9) > 1e-9 {
 		t.Errorf("R = %f, want 0.9", r)
 	}
 	// q=1: threshold 1.0.
-	if r := tableRelevance([][]float64{{0.9}}, 1); r != 0 {
+	if r := tableRelevance(coverFeats([][]float64{{0.9}}), 1); r != 0 {
 		t.Errorf("single-col R = %f, want 0", r)
 	}
-	if r := tableRelevance([][]float64{{1.0}}, 1); math.Abs(r-1.0) > 1e-9 {
+	if r := tableRelevance(coverFeats([][]float64{{1.0}}), 1); math.Abs(r-1.0) > 1e-9 {
 		t.Errorf("single-col R = %f, want 1", r)
 	}
+}
+
+// coverFeats lifts a bare cover grid into the Features grid
+// tableRelevance reads.
+func coverFeats(cover [][]float64) [][]Features {
+	out := make([][]Features, len(cover))
+	for c := range cover {
+		out[c] = make([]Features, len(cover[c]))
+		for ell, v := range cover[c] {
+			out[c][ell].Cover = v
+		}
+	}
+	return out
 }
 
 func TestNodePotentialShape(t *testing.T) {

@@ -105,7 +105,7 @@ func checkEdgesEquiv(t *testing.T, m *Model, label string) {
 	refModel := *m
 	refModel.rawEdges = ref
 	refModel.Edges = nil
-	refModel.finalizeEdges()
+	refModel.finalizeEdges(nil)
 	if !reflect.DeepEqual(m.Edges, refModel.Edges) {
 		t.Fatalf("%s: Edges diverged:\n got %+v\nwant %+v", label, m.Edges, refModel.Edges)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"wwt/internal/graph"
+	"wwt/internal/slicex"
 	"wwt/internal/wtable"
 )
 
@@ -60,6 +61,9 @@ type rawEdge struct {
 	matched        bool    // survived the one-one max-matching
 }
 
+// tablePair identifies one unordered candidate-table pair of the edge grid.
+type tablePair struct{ t1, t2 int }
+
 // Builder constructs Models. Stats is required; PMI may be nil when
 // Params.UsePMI is false — when set, it is probed from Build's worker pool
 // and must be safe for concurrent calls. Views, when set, memoizes
@@ -74,6 +78,14 @@ type Builder struct {
 	PMI    PMISource
 	Views  *ViewCache
 	Pairs  *PairSimCache
+	// Interner, when set and Views is nil, is the symbol table cacheless
+	// builds intern into, letting parameter sweeps that rebuild the same
+	// tables under many configurations pay the vocabulary cost once
+	// instead of per Build. Ignored when Views is set (the cache owns its
+	// own interner). Cross-view similarities only ever compare views from
+	// one model, and every view of one build shares whichever interner
+	// applies, so results are identical either way.
+	Interner *Interner
 }
 
 // viewFor returns the (possibly cached) analyzed view of one table,
@@ -85,14 +97,27 @@ func (b *Builder) viewFor(t *wtable.Table, in *Interner) *TableView {
 	return NewTableView(t, b.Params, b.Stats, in)
 }
 
-// Build assembles the full graphical model: analyzed query, table views,
-// node potentials, stage-1 confidences, and gated cross-table edges.
+// Build assembles the full graphical model with a private scratch arena:
+// the result owns its storage and is safe to retain indefinitely.
+func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
+	return b.BuildWith(queryCols, tables, nil)
+}
+
+// BuildWith is Build through a caller-owned scratch arena. The returned
+// model aliases s — every grid and edge slice is scratch-backed — so s may
+// be reused only once the model is dead, and Reweight clones of a
+// scratch-backed model share its feature storage (don't reuse s while a
+// clone is live either). A nil s uses a fresh private arena, which is what
+// makes Build safe for retention.
 //
 // The per-table work — view analysis plus the SegSim/Cover/PMI² feature
 // grid — is independent across tables and runs on a GOMAXPROCS-wide worker
 // pool; every worker writes only its own table's slots, so the result is
 // identical to the serial build.
-func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
+func (b *Builder) BuildWith(queryCols []string, tables []*wtable.Table, s *BuildScratch) *Model {
+	if s == nil {
+		s = &BuildScratch{}
+	}
 	p := b.Params
 	m := &Model{
 		Params: p,
@@ -100,10 +125,12 @@ func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 		NumQ:   len(queryCols),
 	}
 
-	// Precompute H(Qℓ) doc sets once per query column for PMI².
+	// Precompute H(Qℓ) doc sets once per query column for PMI². The sets
+	// are cache-owned and read-only; the scratch only holds the headers.
 	var hDocs [][]int32
 	if p.UsePMI && b.PMI != nil {
-		hDocs = make([][]int32, m.NumQ)
+		s.hDocs = slicex.Grow(s.hDocs, m.NumQ)
+		hDocs = s.hDocs
 		for ell, qc := range m.Q {
 			hDocs[ell] = b.PMI.HeaderContextDocs(qc.Tokens)
 		}
@@ -112,22 +139,42 @@ func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 	q := m.NumQ
 	// Cacheless builds still need one interner shared by every view in the
 	// model, or cross-view similarities would compare unrelated IDs.
-	var in *Interner
-	if b.Views == nil {
+	in := b.Interner
+	if b.Views == nil && in == nil {
 		in = NewInterner()
 	}
-	m.Views = make([]*TableView, len(tables))
-	m.Feats = make([][][]Features, len(tables))
-	m.Rel = make([]float64, len(tables))
+
+	// Column offsets and the flat feature grid: one backing array for the
+	// whole model instead of a slice per column.
+	s.colOff = slicex.Grow(s.colOff, len(tables)+1)
+	colOff := s.colOff
+	colOff[0] = 0
+	for ti, t := range tables {
+		colOff[ti+1] = colOff[ti] + t.NumCols()
+	}
+	totalCols := colOff[len(tables)]
+
+	s.views = slicex.Grow(s.views, len(tables))
+	m.Views = s.views
+	s.rel = slicex.Grow(s.rel, len(tables))
+	m.Rel = s.rel
+	s.feats = slicex.Grow(s.feats, totalCols*q)
+	s.featRows = slicex.Grow(s.featRows, totalCols)
+	s.featsTab = slicex.Grow(s.featsTab, len(tables))
+	for gc := 0; gc < totalCols; gc++ {
+		s.featRows[gc] = s.feats[gc*q : (gc+1)*q : (gc+1)*q]
+	}
+	for ti := range tables {
+		s.featsTab[ti] = s.featRows[colOff[ti]:colOff[ti+1]:colOff[ti+1]]
+	}
+	m.Feats = s.featsTab
+
 	parallelFor(len(tables), func(ti int) {
 		v := b.viewFor(tables[ti], in)
 		m.Views[ti] = v
 		nt := v.NumCols
-		feats := make([][]Features, nt)
-		cover := make([][]float64, nt)
+		feats := m.Feats[ti]
 		for c := 0; c < nt; c++ {
-			feats[c] = make([]Features, q)
-			cover[c] = make([]float64, q)
 			for ell := 0; ell < q; ell++ {
 				seg, cov := segScores(&m.Q[ell], v, c, p)
 				f := Features{SegSim: seg, Cover: cov}
@@ -135,14 +182,12 @@ func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 					f.PMI2 = pmi2(hDocs[ell], v, c, b.PMI, p)
 				}
 				feats[c][ell] = f
-				cover[c][ell] = cov
 			}
 		}
-		m.Rel[ti] = tableRelevance(cover, q)
-		m.Feats[ti] = feats
+		m.Rel[ti] = tableRelevance(feats, q)
 	})
-	m.computeNodes()
-	m.computeStage1()
+	m.computeNodes(s)
+	m.computeStage1(s)
 	// Without a view cache every build mints fresh view IDs, so a pair
 	// cache could never hit — bypass it instead of polluting it with
 	// permanently dead entries.
@@ -150,31 +195,52 @@ func (b *Builder) Build(queryCols []string, tables []*wtable.Table) *Model {
 	if b.Views == nil {
 		pairs = nil
 	}
-	m.buildRawEdges(pairs)
-	m.finalizeEdges()
+	m.buildRawEdges(pairs, s, colOff)
+	m.finalizeEdges(s)
 	return m
 }
 
 // computeNodes assembles node potentials from the cached features under
-// the current Params.
-func (m *Model) computeNodes() {
+// the current Params, into the scratch grids when s is non-nil (fresh
+// arrays otherwise, for Reweight clones).
+func (m *Model) computeNodes(s *BuildScratch) {
 	q := m.NumQ
-	m.Node = make([][][]float64, len(m.Views))
+	labels := NumLabels(q)
+	totalCols := 0
+	for _, v := range m.Views {
+		totalCols += v.NumCols
+	}
+	var backing []float64
+	var rows [][]float64
+	var tab [][][]float64
+	if s != nil {
+		s.node = slicex.Grow(s.node, totalCols*labels)
+		s.nodeRows = slicex.Grow(s.nodeRows, totalCols)
+		s.nodeTab = slicex.Grow(s.nodeTab, len(m.Views))
+		backing, rows, tab = s.node, s.nodeRows, s.nodeTab
+	} else {
+		backing = make([]float64, totalCols*labels)
+		rows = make([][]float64, totalCols)
+		tab = make([][][]float64, len(m.Views))
+	}
+	gc := 0
 	for ti, v := range m.Views {
 		nt := v.NumCols
-		node := make([][]float64, nt)
+		tab[ti] = rows[gc : gc+nt : gc+nt]
 		for c := 0; c < nt; c++ {
-			node[c] = make([]float64, NumLabels(q))
-			for label := 0; label < NumLabels(q); label++ {
+			row := backing[(gc+c)*labels : (gc+c+1)*labels : (gc+c+1)*labels]
+			rows[gc+c] = row
+			for label := 0; label < labels; label++ {
 				var f Features
 				if label < q {
 					f = m.Feats[ti][c][label]
 				}
-				node[c][label] = nodePotential(f, m.Rel[ti], q, nt, label, m.Params)
+				row[label] = nodePotential(f, m.Rel[ti], q, nt, label, m.Params)
 			}
 		}
-		m.Node[ti] = node
+		gc += nt
 	}
+	m.Node = tab
 }
 
 // Reweight returns a model identical to m except for the trainable
@@ -183,13 +249,15 @@ func (m *Model) computeNodes() {
 // extraction (SegSim/Cover/PMI²/similarities) is NOT redone, so Reweight
 // is cheap enough for the exhaustive weight enumeration of §3.4.
 // p must not change feature-affecting fields (Unsegmented, UsePMI,
-// reliabilities); those require a full rebuild.
+// reliabilities); those require a full rebuild. The clone shares the
+// feature and raw-edge storage of m: if m was built through BuildWith,
+// its scratch must stay unused while the clone is live.
 func (m *Model) Reweight(p Params) *Model {
 	clone := *m
 	clone.Params = p
-	clone.computeNodes()
-	clone.computeStage1()
-	clone.finalizeEdges()
+	clone.computeNodes(nil)
+	clone.computeStage1(nil)
+	clone.finalizeEdges(nil)
 	return &clone
 }
 
@@ -205,42 +273,53 @@ func (m *Model) Cols() []int {
 // TableMaxMarginals computes µ_tc(ℓ) for one table under the mutex and
 // all-Irr constraints only (§4.2.3): the must-match and min-match
 // constraints are deliberately excluded so relative magnitudes stay
-// undistorted. Returns [col][label] with labels 0..q-1, na, nr.
+// undistorted. Returns [col][label] with labels 0..q-1, na, nr; the
+// result is freshly allocated and safe to retain.
 func (m *Model) TableMaxMarginals(ti int) [][]float64 {
+	return m.tableMaxMarginals(ti, &stage1Scratch{})
+}
+
+// tableMaxMarginals is TableMaxMarginals through one worker's scratch; the
+// returned grid aliases sc and is valid until its next use.
+func (m *Model) tableMaxMarginals(ti int, sc *stage1Scratch) [][]float64 {
 	q := m.NumQ
 	nt := m.Views[ti].NumCols
 	node := m.Node[ti]
 
-	capL := make([]int, nt)
+	sc.capL = slicex.Grow(sc.capL, nt)
+	capL := sc.capL
 	for i := range capL {
 		capL[i] = 1
 	}
 	// Rights: q query labels (capacity 1) plus na with capacity nt.
-	capR := make([]int, q+1)
+	sc.capR = slicex.Grow(sc.capR, q+1)
+	capR := sc.capR
 	for j := 0; j < q; j++ {
 		capR[j] = 1
 	}
 	capR[q] = nt
-	w := make([][]float64, nt)
-	wBacking := make([]float64, nt*(q+1))
+	sc.wB = slicex.Grow(sc.wB, nt*(q+1))
+	sc.w = slicex.Grow(sc.w, nt)
+	w := sc.w
 	for c := 0; c < nt; c++ {
-		w[c] = wBacking[c*(q+1) : (c+1)*(q+1)]
+		w[c] = sc.wB[c*(q+1) : (c+1)*(q+1)]
 		for j := 0; j < q; j++ {
 			w[c][j] = node[c][j]
 		}
 		w[c][q] = node[c][NA(q)]
 	}
-	sol := graph.SolveAssignment(capL, capR, w)
+	sol := graph.SolveAssignmentWS(capL, capR, w, &sc.ws)
 	mm := sol.MaxMarginals()
 
 	var nrScore float64
 	for c := 0; c < nt; c++ {
 		nrScore += node[c][NR(q)]
 	}
-	out := make([][]float64, nt)
-	outBacking := make([]float64, nt*NumLabels(q))
+	sc.outB = slicex.Grow(sc.outB, nt*NumLabels(q))
+	sc.out = slicex.Grow(sc.out, nt)
+	out := sc.out
 	for c := 0; c < nt; c++ {
-		out[c] = outBacking[c*NumLabels(q) : (c+1)*NumLabels(q)]
+		out[c] = sc.outB[c*NumLabels(q) : (c+1)*NumLabels(q)]
 		for j := 0; j <= q; j++ { // q is the na right node
 			label := j
 			if j == q {
@@ -255,18 +334,59 @@ func (m *Model) TableMaxMarginals(ti int) [][]float64 {
 
 // computeStage1 fills Dist and Conf from per-table max-marginals. Each
 // table's assignment solve is independent, so the loop runs on the shared
-// worker pool with per-index writes.
-func (m *Model) computeStage1() {
+// worker pool with per-index writes; every worker reuses its own slot of
+// the stage-1 solver scratch.
+func (m *Model) computeStage1(s *BuildScratch) {
 	q := m.NumQ
-	m.Dist = make([][][]float64, len(m.Views))
-	m.Conf = make([][]float64, len(m.Views))
-	parallelFor(len(m.Views), func(ti int) {
-		mu := m.TableMaxMarginals(ti)
-		nt := m.Views[ti].NumCols
-		dist := make([][]float64, nt)
-		conf := make([]float64, nt)
+	labels := NumLabels(q)
+	totalCols := 0
+	for _, v := range m.Views {
+		totalCols += v.NumCols
+	}
+	var distB []float64
+	var distRows [][]float64
+	var distTab [][][]float64
+	var confB []float64
+	var confTab [][]float64
+	workers := numWorkers(len(m.Views))
+	var st1 []stage1Scratch
+	if s != nil {
+		s.dist = slicex.Grow(s.dist, totalCols*labels)
+		s.distRows = slicex.Grow(s.distRows, totalCols)
+		s.distTab = slicex.Grow(s.distTab, len(m.Views))
+		s.conf = slicex.Grow(s.conf, totalCols)
+		s.confTab = slicex.Grow(s.confTab, len(m.Views))
+		distB, distRows, distTab = s.dist, s.distRows, s.distTab
+		confB, confTab = s.conf, s.confTab
+		s.st1 = slicex.GrowKeep(s.st1, workers)
+		st1 = s.st1
+	} else {
+		distB = make([]float64, totalCols*labels)
+		distRows = make([][]float64, totalCols)
+		distTab = make([][][]float64, len(m.Views))
+		confB = make([]float64, totalCols)
+		confTab = make([][]float64, len(m.Views))
+		st1 = make([]stage1Scratch, workers)
+	}
+	gc := 0
+	for ti, v := range m.Views {
+		nt := v.NumCols
+		distTab[ti] = distRows[gc : gc+nt : gc+nt]
 		for c := 0; c < nt; c++ {
-			dist[c] = softmax(mu[c])
+			distRows[gc+c] = distB[(gc+c)*labels : (gc+c+1)*labels : (gc+c+1)*labels]
+		}
+		confTab[ti] = confB[gc : gc+nt : gc+nt]
+		gc += nt
+	}
+	m.Dist = distTab
+	m.Conf = confTab
+	parallelForWorkers(len(m.Views), workers, func(w, ti int) {
+		mu := m.tableMaxMarginals(ti, &st1[w])
+		nt := m.Views[ti].NumCols
+		dist := m.Dist[ti]
+		conf := m.Conf[ti]
+		for c := 0; c < nt; c++ {
+			softmaxInto(dist[c], mu[c])
 			best := 0.0
 			for label := 0; label < q; label++ {
 				if dist[c][label] > best {
@@ -275,8 +395,6 @@ func (m *Model) computeStage1() {
 			}
 			conf[c] = best
 		}
-		m.Dist[ti] = dist
-		m.Conf[ti] = conf
 	})
 }
 
@@ -292,27 +410,26 @@ func (m *Model) computeStage1() {
 // the slots in (t1, t2, c1, c2) order, the exact accumulation order of the
 // old serial map-based path, so float sums stay bit-identical. The denom /
 // edge-index maps of that path are replaced by flat arrays indexed by
-// global column offsets.
-func (m *Model) buildRawEdges(cache *PairSimCache) {
+// global column offsets, all scratch-backed. colOff is the prefix sum
+// BuildWith already computed — colOff[t] is the global offset of table
+// t's first column — passed through so the feature grid and the edge
+// offsets share one source of truth.
+func (m *Model) buildRawEdges(cache *PairSimCache, s *BuildScratch, colOff []int) {
 	p := m.Params
 	n := len(m.Views)
 	if n < 2 {
 		return
 	}
-	// colOff[t] is the global offset of table t's first column.
-	colOff := make([]int, n+1)
-	for t, v := range m.Views {
-		colOff[t+1] = colOff[t] + v.NumCols
-	}
 
-	type tablePair struct{ t1, t2 int }
-	pairs := make([]tablePair, 0, n*(n-1)/2)
+	pairs := s.pairs[:0]
 	for t1 := 0; t1 < n; t1++ {
 		for t2 := t1 + 1; t2 < n; t2++ {
 			pairs = append(pairs, tablePair{t1, t2})
 		}
 	}
-	slots := make([][]colPairSim, len(pairs))
+	s.pairs = pairs
+	s.slots = slicex.Grow(s.slots, len(pairs))
+	slots := s.slots
 	parallelFor(len(pairs), func(i int) {
 		pr := pairs[i]
 		if cache != nil {
@@ -323,8 +440,8 @@ func (m *Model) buildRawEdges(cache *PairSimCache) {
 	})
 
 	total := 0
-	for _, s := range slots {
-		total += len(s)
+	for _, sl := range slots {
+		total += len(sl)
 	}
 	if total == 0 {
 		return
@@ -332,11 +449,12 @@ func (m *Model) buildRawEdges(cache *PairSimCache) {
 	// Neighborhood denominators depend on the whole candidate set, so they
 	// stay query-side: accumulate over every surviving pair first, then
 	// normalize.
-	denom := make([]float64, colOff[n])
-	for i, s := range slots {
+	s.denom = slicex.GrowClear(s.denom, colOff[n])
+	denom := s.denom
+	for i, sl := range slots {
 		pr := pairs[i]
 		off1, off2 := colOff[pr.t1], colOff[pr.t2]
-		for _, e := range s {
+		for _, e := range sl {
 			denom[off1+int(e.c1)] += e.sim
 			denom[off2+int(e.c2)] += e.sim
 		}
@@ -344,12 +462,12 @@ func (m *Model) buildRawEdges(cache *PairSimCache) {
 	// Every similar pair becomes a raw edge (the naive Potts ablations use
 	// them all); matched marks the max-matching survivors the custom
 	// potential keeps.
-	m.rawEdges = make([]rawEdge, 0, total)
-	for i, s := range slots {
+	raw := s.rawEdges[:0]
+	for i, sl := range slots {
 		pr := pairs[i]
 		off1, off2 := colOff[pr.t1], colOff[pr.t2]
-		for _, e := range s {
-			m.rawEdges = append(m.rawEdges, rawEdge{
+		for _, e := range sl {
+			raw = append(raw, rawEdge{
 				t1: pr.t1, c1: int(e.c1), t2: pr.t2, c2: int(e.c2),
 				nsimAB:  e.sim / (p.Lambda + denom[off1+int(e.c1)]),
 				nsimBA:  e.sim / (p.Lambda + denom[off2+int(e.c2)]),
@@ -358,13 +476,19 @@ func (m *Model) buildRawEdges(cache *PairSimCache) {
 			})
 		}
 	}
+	s.rawEdges = raw
+	m.rawEdges = raw
 }
 
 // finalizeEdges applies the weight- and confidence-dependent part of
-// Eq. 4 to the raw edge candidates, honoring the ablation variant.
-func (m *Model) finalizeEdges() {
+// Eq. 4 to the raw edge candidates, honoring the ablation variant. The
+// edge list is scratch-backed when s is non-nil.
+func (m *Model) finalizeEdges(s *BuildScratch) {
 	p := m.Params
-	m.Edges = nil
+	var edges []Edge
+	if s != nil {
+		edges = s.edges[:0]
+	}
 	for _, re := range m.rawEdges {
 		switch p.Edges {
 		case EdgePotts, EdgePottsNoNR:
@@ -372,7 +496,7 @@ func (m *Model) finalizeEdges() {
 			// confidence gates. Split the coefficient evenly so the
 			// table-centric messages stay defined.
 			w := p.We * re.sim / 2
-			m.Edges = append(m.Edges, Edge{
+			edges = append(edges, Edge{
 				T1: re.t1, C1: re.c1, T2: re.t2, C2: re.c2,
 				WAB: w, WBA: w,
 				IncludeNR: p.Edges == EdgePotts,
@@ -391,9 +515,18 @@ func (m *Model) finalizeEdges() {
 			if wab == 0 && wba == 0 {
 				continue
 			}
-			m.Edges = append(m.Edges, Edge{T1: re.t1, C1: re.c1, T2: re.t2, C2: re.c2, WAB: wab, WBA: wba})
+			edges = append(edges, Edge{T1: re.t1, C1: re.c1, T2: re.t2, C2: re.c2, WAB: wab, WBA: wba})
 		}
 	}
+	if s != nil {
+		s.edges = edges
+	}
+	// An edge-free model keeps a nil Edges slice in both modes, so pooled
+	// and fresh builds stay comparable with reflect.DeepEqual.
+	if len(edges) == 0 {
+		edges = nil
+	}
+	m.Edges = edges
 }
 
 // EdgePotential evaluates Eq. 4 for an edge under labels la, lb.
@@ -456,8 +589,10 @@ func (m *Model) Score(l Labeling) float64 {
 	return total
 }
 
-func softmax(xs []float64) []float64 {
-	out := make([]float64, len(xs))
+// softmaxInto writes the softmax of xs into out (same length). -Inf
+// entries get probability zero; an all -Inf input yields the uniform
+// distribution.
+func softmaxInto(out, xs []float64) {
 	best := math.Inf(-1)
 	for _, x := range xs {
 		if x > best {
@@ -468,7 +603,7 @@ func softmax(xs []float64) []float64 {
 		for i := range out {
 			out[i] = 1 / float64(len(xs))
 		}
-		return out
+		return
 	}
 	var sum float64
 	for i, x := range xs {
@@ -482,7 +617,6 @@ func softmax(xs []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 func ones(n int) []int {

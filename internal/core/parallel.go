@@ -6,18 +6,37 @@ import (
 	"sync/atomic"
 )
 
+// numWorkers returns the worker count parallelFor uses for n iterations —
+// the size callers must give any per-worker scratch array.
+func numWorkers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // parallelFor runs fn(i) for every i in [0, n) across a worker pool sized
 // to GOMAXPROCS. Iterations must be independent and write only to disjoint
 // indices of any shared output, which keeps results deterministic
 // regardless of scheduling. Small n falls through to a plain loop.
 func parallelFor(n int, fn func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	parallelForWorkers(n, numWorkers(n), func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with the worker index exposed:
+// fn(w, i), w < workers, may freely use the w-th slot of per-worker
+// scratch, since each worker runs its iterations sequentially. The caller
+// passes workers (normally numWorkers(n)) explicitly so its scratch array
+// and the pool size cannot disagree, even if GOMAXPROCS changes mid-call.
+// Iteration results must not depend on which worker runs them.
+func parallelForWorkers(n, workers int, fn func(worker, i int)) {
 	if workers <= 1 || n < 2 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -27,7 +46,7 @@ func parallelFor(n int, fn func(int)) {
 	var panicVal any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// A panic in a worker goroutine would kill the process; capture
 			// the first one and rethrow it on the calling goroutine so
@@ -42,9 +61,9 @@ func parallelFor(n int, fn func(int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if panicVal != nil {

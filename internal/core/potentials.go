@@ -72,22 +72,22 @@ func intersectSize(a, b []int32) int {
 }
 
 // tableRelevance computes R(Q,t) of Eq. 2 from the per-(column, query
-// column) Cover values: the clipped total fraction of query words matched
-// by the table's headers and surroundings.
+// column) Cover features: the clipped total fraction of query words
+// matched by the table's headers and surroundings.
 //
 //	R(Q,t) = (1/q) clip(Σ_ℓ max_c Cover(Qℓ,tc), min(q, 1.5))
 //
 // clip(a,b) is 0 when a < b and a otherwise.
-func tableRelevance(cover [][]float64, q int) float64 {
+func tableRelevance(feats [][]Features, q int) float64 {
 	if q == 0 {
 		return 0
 	}
 	var sum float64
 	for ell := 0; ell < q; ell++ {
 		best := 0.0
-		for c := range cover {
-			if cover[c][ell] > best {
-				best = cover[c][ell]
+		for c := range feats {
+			if feats[c][ell].Cover > best {
+				best = feats[c][ell].Cover
 			}
 		}
 		sum += best

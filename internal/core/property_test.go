@@ -153,11 +153,11 @@ func TestTableRelevanceBounds(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		q := 1 + r.Intn(3)
 		nc := 1 + r.Intn(4)
-		cover := make([][]float64, nc)
+		cover := make([][]Features, nc)
 		for c := range cover {
-			cover[c] = make([]float64, q)
+			cover[c] = make([]Features, q)
 			for ell := range cover[c] {
-				cover[c][ell] = r.Float64()
+				cover[c][ell].Cover = r.Float64()
 			}
 		}
 		rel := tableRelevance(cover, q)

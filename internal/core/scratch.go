@@ -1,0 +1,67 @@
+package core
+
+import "wwt/internal/graph"
+
+// BuildScratch is the reusable arena of one model build: every flat
+// backing array Build needs — the node/feature/distribution grids, the
+// stage-1 assignment solver state, and the edge-construction buffers —
+// lives here, so a warm scratch builds a model with near-zero allocation.
+// The zero value is ready to use.
+//
+// Ownership contract: a Model built through BuildWith aliases the scratch
+// (its Node/Feats/Dist/Conf/Rel/Views/Edges storage IS the scratch), so the
+// scratch may only be reused once that model is dead. The engine's query
+// pipeline relies on this: the arena is handed to the Result and recycled
+// only on Release. Scratch buffers must never be handed to a cross-query
+// cache (ViewCache/PairSimCache/DocSetCache) — caches may only hold their
+// own allocations; the reverse (read-only cache-owned slices referenced
+// from scratch fields, e.g. pair-sim slots) is fine because the scratch
+// never writes through them.
+type BuildScratch struct {
+	hDocs  [][]int32 // per query column: cache-owned H(Qℓ) doc sets (read-only)
+	colOff []int     // table -> global offset of its first column
+
+	views []*TableView
+
+	// Flat grids over (global column, label): one backing array plus the
+	// row and per-table headers that Model exposes as [][][] slices.
+	feats    []Features
+	featRows [][]Features
+	featsTab [][][]Features
+
+	node     []float64
+	nodeRows [][]float64
+	nodeTab  [][][]float64
+
+	dist     []float64
+	distRows [][]float64
+	distTab  [][][]float64
+
+	conf    []float64
+	confTab [][]float64
+
+	rel []float64
+
+	// Per-worker stage-1 solver scratch (workers run disjoint tables).
+	st1 []stage1Scratch
+
+	// Edge construction.
+	pairs    []tablePair
+	slots    [][]colPairSim // cache- or compute-owned per-pair lists (read-only)
+	denom    []float64
+	rawEdges []rawEdge
+	edges    []Edge
+}
+
+// stage1Scratch is one worker's state for the per-table max-marginal
+// solves of §4.2: the assignment workspace plus the capacity/weight/output
+// grids, all fully overwritten per table.
+type stage1Scratch struct {
+	ws   graph.Workspace
+	capL []int
+	capR []int
+	w    [][]float64
+	wB   []float64
+	out  [][]float64
+	outB []float64
+}

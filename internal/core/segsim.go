@@ -65,17 +65,37 @@ func segScores(qc *QueryColumn, v *TableView, c int, p Params) (segSim, cover fl
 // matched against the column's concatenated header rows with a plain
 // TF-IDF cosine (and coverage fraction); no segmentation, no outSim.
 func unsegScores(qc *QueryColumn, v *TableView, c int) (float64, float64) {
+	// All sums below run in deterministic first-occurrence order (header
+	// rows ascending, tokens in cell order; query tokens in query order),
+	// never map order, so repeated builds are bit-identical.
 	vec := make(map[string]float64)
+	var order []string
 	for r := 0; r < v.HeaderRowCount(); r++ {
-		for w, x := range v.headerVec[r][c] {
-			vec[w] += x
+		hv := v.headerVec[r][c]
+		toks := v.HeaderTokens[r][c]
+		for i, w := range toks {
+			first := true
+			for j := 0; j < i; j++ {
+				if toks[j] == w {
+					first = false
+					break
+				}
+			}
+			if !first {
+				continue
+			}
+			if _, seen := vec[w]; !seen {
+				order = append(order, w)
+			}
+			vec[w] += hv[w]
 		}
 	}
 	if len(vec) == 0 {
 		return 0, 0
 	}
 	var hn2, dot, covered float64
-	for _, x := range vec {
+	for _, w := range order {
+		x := vec[w]
 		hn2 += x * x
 	}
 	qvec := make(map[string]float64, len(qc.Tokens))
@@ -83,7 +103,12 @@ func unsegScores(qc *QueryColumn, v *TableView, c int) (float64, float64) {
 		qvec[w] += mathSqrt(qc.TI2[i])
 	}
 	var qn2 float64
-	for w, x := range qvec {
+	for _, w := range qc.Tokens {
+		x, ok := qvec[w]
+		if !ok {
+			continue
+		}
+		delete(qvec, w)
 		qn2 += x * x
 		if y, ok := vec[w]; ok {
 			dot += x * y
@@ -134,8 +159,18 @@ func inSimCosine(qc *QueryColumn, a, b int, v *TableView, r, c int) float64 {
 	for i := a; i < b; i++ {
 		qvec[qc.Tokens[i]] += math.Sqrt(qc.TI2[i])
 	}
+	// Accumulate in first-occurrence token order (consuming qvec entries as
+	// they are visited), NOT map order: feature extraction must be
+	// bit-deterministic so repeated builds — pooled-arena vs fresh — sum
+	// identically.
 	var dot, qn2 float64
-	for w, x := range qvec {
+	for i := a; i < b; i++ {
+		w := qc.Tokens[i]
+		x, ok := qvec[w]
+		if !ok {
+			continue
+		}
+		delete(qvec, w)
 		qn2 += x * x
 		if y, ok := hvec[w]; ok {
 			dot += x * y

@@ -206,16 +206,16 @@ func ExperimentFig7(w io.Writer, r *Runner) {
 	sort.SliceStable(sorted, func(i, j int) bool {
 		return sorted[i].Timings.Total() < sorted[j].Timings.Total()
 	})
-	fmt.Fprintf(w, "%-40s %8s %8s %8s %8s %8s %8s %8s\n",
-		"query", "probe1", "read1", "probe2", "read2", "colmap", "consol", "total")
+	fmt.Fprintf(w, "%-40s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"query", "probe1", "read1", "probe2", "read2", "colmap", "infer", "consol", "total")
 	var tot time.Duration
 	for _, res := range sorted {
 		t := res.Timings
 		tot += t.Total()
-		fmt.Fprintf(w, "%-40s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+		fmt.Fprintf(w, "%-40s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
 			clipStr(res.Query.String(), 40),
 			ms(t.Probe1), ms(t.Read1), ms(t.Probe2), ms(t.Read2),
-			ms(t.ColumnMap), ms(t.Consolidate), ms(t.Total()))
+			ms(t.ColumnMap), ms(t.Infer), ms(t.Consolidate), ms(t.Total()))
 	}
 	fmt.Fprintf(w, "average total: %.2f ms\n", ms(tot)/float64(len(sorted)))
 }

@@ -124,7 +124,11 @@ func (r *Runner) Run(q workload.Query) *QueryResult {
 		res.Labelings[alg.String()] = l
 		res.Errors[alg.String()] = F1Error(l, tables, res.GT)
 	}
-	res.Timings.ColumnMap = buildTime + res.InferenceTime[inference.TableCentric.String()]
+	// ColumnMap covers only the model build; the paper-default (table-
+	// centric) solve is reported as the separate Infer stage, matching
+	// Engine.Answer's pipeline split.
+	res.Timings.ColumnMap = buildTime
+	res.Timings.Infer = res.InferenceTime[inference.TableCentric.String()]
 	// WWT == the table-centric labeling (the paper's default).
 	res.Labelings[MethodWWT] = res.Labelings[inference.TableCentric.String()]
 	res.Errors[MethodWWT] = res.Errors[inference.TableCentric.String()]

@@ -1,6 +1,10 @@
 package graph
 
-import "math"
+import (
+	"math"
+
+	"wwt/internal/slicex"
+)
 
 // Assignment solves the generalized maximum-weight bipartite matching of
 // §4.2.1: left nodes with capacities capL, right nodes with capacities
@@ -15,6 +19,7 @@ type Assignment struct {
 	nL, nR int
 	w      [][]float64
 
+	ws      *Workspace
 	g       *MCMF
 	edgeIDs []int32 // flat nL x nR: left i, right j -> MCMF edge id (-1 when absent)
 	// node numbering inside g
@@ -28,12 +33,26 @@ type Assignment struct {
 	MatchL []int   // for each left node: matched right node, or -1
 }
 
-// SolveAssignment builds and solves the matching problem. w must be
-// nL x nR; capacities must be positive. Entries of w may be negative
-// (they participate like any weight); use math.Inf(-1) to forbid a pair.
+// SolveAssignment builds and solves the matching problem with a private
+// workspace, so the result is safe to retain. w must be nL x nR;
+// capacities must be positive. Entries of w may be negative (they
+// participate like any weight); use math.Inf(-1) to forbid a pair.
 func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
+	return SolveAssignmentWS(capL, capR, w, nil)
+}
+
+// SolveAssignmentWS is SolveAssignment through a caller-owned workspace:
+// the network, the solver scratch and the result buffers all come from ws,
+// so a warm workspace solves without allocating. The returned Assignment
+// aliases ws and is valid only until the next solve on it. A nil ws uses a
+// fresh private workspace (identical to SolveAssignment).
+func SolveAssignmentWS(capL, capR []int, w [][]float64, ws *Workspace) *Assignment {
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	nL, nR := len(capL), len(capR)
-	a := &Assignment{nL: nL, nR: nR, w: w, dummyLeft: -1, dummyRight: -1}
+	a := &ws.asn
+	*a = Assignment{nL: nL, nR: nR, w: w, ws: ws, dummyLeft: -1, dummyRight: -1}
 
 	sumL, sumR := 0, 0
 	for _, c := range capL {
@@ -53,7 +72,8 @@ func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
 	a.s, a.t = 0, 1
 	a.leftBase = 2
 	a.rightBase = 2 + nL + extraL
-	g := NewMCMF(n)
+	g := &ws.g
+	g.reset(n)
 	g.Reserve(nL + nR + 2 + nL*nR + nL + nR) // caps, dummies, full bipartite grid
 	a.g = g
 
@@ -72,7 +92,8 @@ func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
 		g.AddEdge(a.dummyRight, a.t, sumL-sumR, 0)
 	}
 
-	a.edgeIDs = make([]int32, nL*nR)
+	ws.edgeIDs = slicex.Grow(ws.edgeIDs, nL*nR)
+	a.edgeIDs = ws.edgeIDs
 	for i := 0; i < nL; i++ {
 		row := a.edgeIDs[i*nR : (i+1)*nR]
 		for j := 0; j < nR; j++ {
@@ -98,7 +119,8 @@ func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
 
 	_, cost := g.Run(a.s, a.t)
 	a.Total = -cost
-	a.MatchL = make([]int, nL)
+	ws.matchL = slicex.Grow(ws.matchL, nL)
+	a.MatchL = ws.matchL
 	for i := range a.MatchL {
 		a.MatchL[i] = -1
 		for j := 0; j < nR; j++ {
@@ -114,15 +136,20 @@ func SolveAssignment(capL, capR []int, w [][]float64) *Assignment {
 // MaxMarginals returns mu[i][j]: the maximum total matching weight under
 // the constraint that left i is matched to right j, computed as
 // Opt - d(j, i) - cost(i, j) over the final residual graph (Fig. 3).
-// Forbidden or unreachable pairs yield -Inf.
+// Forbidden or unreachable pairs yield -Inf. The result is backed by the
+// assignment's workspace: valid only until its next solve.
 func (a *Assignment) MaxMarginals() [][]float64 {
-	mu := make([][]float64, a.nL)
-	backing := make([]float64, a.nL*a.nR)
+	ws := a.ws
+	ws.muBacking = slicex.Grow(ws.muBacking, a.nL*a.nR)
+	ws.mu = slicex.Grow(ws.mu, a.nL)
+	mu := ws.mu
 	for i := range mu {
-		mu[i] = backing[i*a.nR : (i+1)*a.nR]
+		mu[i] = ws.muBacking[i*a.nR : (i+1)*a.nR]
 	}
 	for j := 0; j < a.nR; j++ {
-		dist := a.g.ResidualShortestFrom(a.rightBase + j)
+		ws.resDist = slicex.Grow(ws.resDist, a.g.n)
+		dist := ws.resDist
+		a.g.residualShortestInto(a.rightBase+j, dist)
 		for i := 0; i < a.nL; i++ {
 			if a.edgeIDs[i*a.nR+j] == -1 {
 				mu[i][j] = math.Inf(-1)

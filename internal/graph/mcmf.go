@@ -6,7 +6,11 @@
 // moves, and the constrained minimum s-t cut of Fig. 4.
 package graph
 
-import "math"
+import (
+	"math"
+
+	"wwt/internal/slicex"
+)
 
 // Inf is the effectively-infinite cost/capacity used to encode hard
 // constraints without overflowing float64 arithmetic.
@@ -29,6 +33,13 @@ type MCMF struct {
 	head []int32 // node -> first incident edge id, -1 when none
 	tail []int32 // node -> last incident edge id, -1 when none
 	next []int32 // edge id -> next incident edge id at the same node
+
+	// Run scratch, lazily sized and reused across Run calls (and across
+	// solves when the MCMF itself is reused through a Workspace).
+	dist     []float64
+	inQueue  []bool
+	prevEdge []int32
+	queue    []int32
 }
 
 // NewMCMF returns an empty network on n nodes (0..n-1).
@@ -103,9 +114,13 @@ const costEps = 1e-7
 func (g *MCMF) Run(s, t int) (int, float64) {
 	totalFlow := 0
 	totalCost := 0.0
-	dist := make([]float64, g.n)
-	inQueue := make([]bool, g.n)
-	prevEdge := make([]int32, g.n)
+	dist := slicex.Grow(g.dist, g.n)
+	inQueue := slicex.Grow(g.inQueue, g.n)
+	prevEdge := slicex.Grow(g.prevEdge, g.n)
+	g.dist, g.inQueue, g.prevEdge = dist, inQueue, prevEdge
+	// inQueue's invariant (queue empty => all false) holds between Run
+	// calls except after a budget bailout; clear so reuse starts clean.
+	clear(inQueue)
 	for {
 		// SPFA variant of Bellman-Ford over positive-residual edges. The
 		// pop budget is a defensive bound: float noise cannot spin it.
@@ -114,13 +129,14 @@ func (g *MCMF) Run(s, t int) (int, float64) {
 			prevEdge[i] = -1
 		}
 		dist[s] = 0
-		queue := []int32{int32(s)}
+		queue := append(g.queue[:0], int32(s))
+		qhead := 0
 		inQueue[s] = true
 		budget := 50 * (g.n + 1) * (len(g.to) + 1)
-		for len(queue) > 0 && budget > 0 {
+		for qhead < len(queue) && budget > 0 {
 			budget--
-			u := queue[0]
-			queue = queue[1:]
+			u := queue[qhead]
+			qhead++
 			inQueue[u] = false
 			for id := g.head[u]; id >= 0; id = g.next[id] {
 				if g.capa[id] <= 0 {
@@ -138,6 +154,7 @@ func (g *MCMF) Run(s, t int) (int, float64) {
 				}
 			}
 		}
+		g.queue = queue[:0]
 		if math.IsInf(dist[t], 1) {
 			return totalFlow, totalCost
 		}
@@ -167,6 +184,13 @@ func (g *MCMF) Run(s, t int) (int, float64) {
 // max-marginals.
 func (g *MCMF) ResidualShortestFrom(src int) []float64 {
 	dist := make([]float64, g.n)
+	g.residualShortestInto(src, dist)
+	return dist
+}
+
+// residualShortestInto is ResidualShortestFrom into a caller-owned buffer
+// of length g.n (fully overwritten).
+func (g *MCMF) residualShortestInto(src int, dist []float64) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
@@ -192,5 +216,4 @@ func (g *MCMF) ResidualShortestFrom(src int) []float64 {
 			break
 		}
 	}
-	return dist
 }

@@ -135,14 +135,19 @@ func (s *Searcher) IDOf(doc int32) string { return s.ids[doc] }
 
 // accumulator is the per-query scratch of a search: a dense score array
 // whose entries are valid only when their generation tag matches cur, the
-// list of touched docs, and reusable heap scratch for threshold and top-k
-// selection.
+// list of touched docs, reusable heap scratch for threshold and top-k
+// selection, and the probe-side term buffers (resolution set, canonical
+// term list, admission bounds).
 type accumulator struct {
 	score   []float64
 	gen     []uint32
 	cur     uint32
 	touched []int32
 	scratch []float64 // reusable buffer for the skip-threshold selection
+
+	tids   []int32        // resolved unique term IDs, canonical order
+	seen   map[int32]bool // term dedup, cleared per search
+	suffix []float64      // per-position admission bound
 }
 
 func (s *Searcher) getAcc() *accumulator {
@@ -170,15 +175,22 @@ func (s *Searcher) Search(tokens []string, k int) []Hit {
 	if len(tokens) == 0 || s.numDocs == 0 {
 		return nil
 	}
-	// Resolve unique known terms.
-	tids := make([]int32, 0, len(tokens))
-	seen := make(map[int32]bool, len(tokens))
+	acc := s.getAcc()
+	defer s.pool.Put(acc)
+	// Resolve unique known terms into the pooled probe buffers.
+	tids := acc.tids[:0]
+	if acc.seen == nil {
+		acc.seen = make(map[int32]bool, len(tokens))
+	}
+	seen := acc.seen
+	clear(seen)
 	for _, tok := range tokens {
 		if ti, ok := s.terms[tok]; ok && !seen[ti] {
 			seen[ti] = true
 			tids = append(tids, ti)
 		}
 	}
+	acc.tids = tids
 	if len(tids) == 0 {
 		return nil
 	}
@@ -186,16 +198,18 @@ func (s *Searcher) Search(tokens []string, k int) []Hit {
 	// reference scorer uses the same order, which makes per-document
 	// float64 sums bit-identical — the equivalence the ranking tests pin
 	// down. The max-score skip below is valid under any order.
-	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	slices.Sort(tids)
 	// suffix[i]: the best score any document matching only terms i..n can
 	// reach — the admission bound for documents first seen at term i.
-	suffix := make([]float64, len(tids)+1)
+	if cap(acc.suffix) < len(tids)+1 {
+		acc.suffix = make([]float64, len(tids)+1)
+	}
+	suffix := acc.suffix[:len(tids)+1]
+	acc.suffix = suffix
+	suffix[len(tids)] = 0
 	for i := len(tids) - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + s.maxScore[tids[i]]
 	}
-
-	acc := s.getAcc()
-	defer s.pool.Put(acc)
 
 	updateOnly := false
 	threshold := math.Inf(-1)

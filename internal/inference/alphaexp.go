@@ -3,6 +3,7 @@ package inference
 import (
 	"wwt/internal/core"
 	"wwt/internal/graph"
+	"wwt/internal/slicex"
 )
 
 // SolveAlphaExpansion implements the constrained α-expansion of §4.3.
@@ -13,18 +14,18 @@ import (
 // rides along as pairwise energies (Eq. 11); must-match and min-match are
 // repaired per table afterwards (§4.3).
 func SolveAlphaExpansion(m *core.Model) core.Labeling {
-	return solveAlphaExpansion(m, true)
+	return solveAlphaExpansion(m, true, &Scratch{})
 }
 
 // SolveAlphaExpansionPostHocMutex is the ablation variant that ignores the
 // mutex constraint during expansion moves (plain minimum cuts) and leaves
 // all mutex violations to the per-table post-processing repair.
 func SolveAlphaExpansionPostHocMutex(m *core.Model) core.Labeling {
-	return solveAlphaExpansion(m, false)
+	return solveAlphaExpansion(m, false, &Scratch{})
 }
 
-func solveAlphaExpansion(m *core.Model, constrainedMutex bool) core.Labeling {
-	mrf := newPairwiseMRF(m, false)
+func solveAlphaExpansion(m *core.Model, constrainedMutex bool, s *Scratch) core.Labeling {
+	mrf := newPairwiseMRFS(m, false, s)
 	y := mrf.allNA()
 	best := mrf.totalEnergy(y, true)
 
@@ -32,7 +33,7 @@ func solveAlphaExpansion(m *core.Model, constrainedMutex bool) core.Labeling {
 	for round := 0; round < maxRounds; round++ {
 		improved := false
 		for alpha := 0; alpha < mrf.labels; alpha++ {
-			cand := expansionMove(mrf, y, alpha, constrainedMutex)
+			cand := expansionMove(mrf, y, alpha, constrainedMutex, s)
 			if e := mrf.totalEnergy(cand, true); e < best-1e-9 {
 				y, best = cand, e
 				improved = true
@@ -42,20 +43,28 @@ func solveAlphaExpansion(m *core.Model, constrainedMutex bool) core.Labeling {
 			break
 		}
 	}
-	return repairTableConstraints(m, mrf.toLabeling(y))
+	return repairTableConstraints(m, mrf.toLabeling(y), s)
+}
+
+// cutEdge is one pairwise term of an expansion move's cut graph.
+type cutEdge struct {
+	u, v int
+	cap  float64
 }
 
 // expansionMove computes the optimal (or, under the mutex constraint,
 // 2-approximate) α-move from labeling y via a graph cut. Variables on the
-// t side of the cut switch to α.
-func expansionMove(p *pairwiseMRF, y []int, alpha int, constrainedMutex bool) []int {
+// t side of the cut switch to α. Move-local buffers come from sc.
+func expansionMove(p *pairwiseMRF, y []int, alpha int, constrainedMutex bool, sc *Scratch) []int {
 	n := p.nVars
 	// Node ids: s=0, t=1, variable u -> 2+u.
 	const s, t = 0, 1
 	node := func(u int) int { return 2 + u }
 
-	cost0 := make([]float64, n) // energy contribution when u keeps y[u]
-	cost1 := make([]float64, n) // energy contribution when u switches to α
+	sc.cost0 = slicex.Grow(sc.cost0, n)
+	sc.cost1 = slicex.Grow(sc.cost1, n)
+	cost0 := sc.cost0 // energy contribution when u keeps y[u]
+	cost1 := sc.cost1 // energy contribution when u switches to α
 	for u := 0; u < n; u++ {
 		cost0[u] = p.unary[u][y[u]]
 		cost1[u] = p.unary[u][alpha]
@@ -66,11 +75,7 @@ func expansionMove(p *pairwiseMRF, y []int, alpha int, constrainedMutex bool) []
 		}
 	}
 
-	type cutEdge struct {
-		u, v int
-		cap  float64
-	}
-	var cutEdges []cutEdge
+	cutEdges := sc.cutEdges[:0]
 	for _, e := range p.edges {
 		a := p.pairEnergy(e, y[e.u], y[e.v]) // E00
 		b := p.pairEnergy(e, y[e.u], alpha)  // E01
@@ -93,9 +98,14 @@ func expansionMove(p *pairwiseMRF, y []int, alpha int, constrainedMutex bool) []
 			cutEdges = append(cutEdges, cutEdge{e.u, e.v, pw})
 		}
 	}
+	sc.cutEdges = cutEdges
 
 	g := graph.NewFlowGraph(2 + n)
-	sEdge := make(map[int]int, n)
+	if sc.sEdge == nil {
+		sc.sEdge = make(map[int]int, n)
+	}
+	clear(sc.sEdge)
+	sEdge := sc.sEdge
 	for u := 0; u < n; u++ {
 		shift := cost0[u]
 		if cost1[u] < shift {

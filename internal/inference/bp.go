@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"wwt/internal/core"
+	"wwt/internal/slicex"
 )
 
 // bpIterations and bpDamping tune loopy belief propagation. BP on this
@@ -18,16 +19,25 @@ const (
 // mutex and all-Irr encoded as pairwise penalties, decodes beliefs
 // greedily, and repairs residual constraint violations per table.
 func SolveBP(m *core.Model) core.Labeling {
-	p := newPairwiseMRF(m, true)
+	return solveBP(m, &Scratch{})
+}
+
+func solveBP(m *core.Model, s *Scratch) core.Labeling {
+	p := newPairwiseMRFS(m, true, s)
 	L := p.labels
 	// msg[2*e]   : message u -> v of edge e
 	// msg[2*e+1] : message v -> u of edge e
-	msg := make([][]float64, 2*len(p.edges))
+	// Messages start at zero, so the reused backing is cleared.
+	s.emsgB = slicex.GrowClear(s.emsgB, 2*len(p.edges)*L)
+	s.emsg = slicex.Grow(s.emsg, 2*len(p.edges))
+	msg := s.emsg
 	for i := range msg {
-		msg[i] = make([]float64, L)
+		msg[i] = s.emsgB[i*L : (i+1)*L : (i+1)*L]
 	}
-	newMsg := make([]float64, L)
-	h := make([]float64, L)
+	s.newMsg = slicex.Grow(s.newMsg, L)
+	newMsg := s.newMsg
+	s.h = slicex.Grow(s.h, L)
+	h := s.h
 
 	for iter := 0; iter < bpIterations; iter++ {
 		var maxDelta float64
@@ -79,8 +89,10 @@ func SolveBP(m *core.Model) core.Labeling {
 		}
 	}
 
-	y := make([]int, p.nVars)
+	s.y = slicex.Grow(s.y, p.nVars)
+	y := s.y
 	for u := 0; u < p.nVars; u++ {
+		y[u] = 0
 		best := math.Inf(1)
 		for l := 0; l < L; l++ {
 			b := p.unary[u][l]
@@ -93,7 +105,7 @@ func SolveBP(m *core.Model) core.Labeling {
 			}
 		}
 	}
-	return repairTableConstraints(m, p.toLabeling(y))
+	return repairTableConstraints(m, p.toLabeling(y), s)
 }
 
 // incoming returns the message arriving at variable 'at' along edge ei.

@@ -2,6 +2,7 @@ package inference
 
 import (
 	"wwt/internal/core"
+	"wwt/internal/slicex"
 )
 
 // The edge-centric algorithms (α-expansion, BP, TRWS) operate on a
@@ -45,30 +46,57 @@ type pairwiseMRF struct {
 	withMutex bool    // encode mutex as pairwise penalties
 }
 
+// newPairwiseMRF flattens a model into its pairwise energy form with a
+// private scratch; the result owns its storage.
 func newPairwiseMRF(m *core.Model, withMutex bool) *pairwiseMRF {
+	return newPairwiseMRFS(m, withMutex, &Scratch{})
+}
+
+// newPairwiseMRFS builds the MRF into s: variables, unaries, edge list and
+// adjacency all live in the scratch's flat arrays, so a warm scratch
+// rebuilds the MRF without allocating. The result aliases s and is valid
+// until the scratch's next MRF build.
+func newPairwiseMRFS(m *core.Model, withMutex bool, s *Scratch) *pairwiseMRF {
 	q := m.NumQ
-	p := &pairwiseMRF{m: m, q: q, labels: core.NumLabels(q), withMutex: withMutex}
-	p.varOf = make([][]int, len(m.Views))
+	p := &s.mrf
+	*p = pairwiseMRF{m: m, q: q, labels: core.NumLabels(q), withMutex: withMutex}
+	nVars := 0
+	for _, v := range m.Views {
+		nVars += v.NumCols
+	}
+	p.nVars = nVars
+	s.varOf = slicex.Grow(s.varOf, len(m.Views))
+	s.varOfB = slicex.Grow(s.varOfB, nVars)
+	s.tableOf = slicex.Grow(s.tableOf, nVars)
+	s.colOf = slicex.Grow(s.colOf, nVars)
+	p.varOf, p.tableOf, p.colOf = s.varOf, s.tableOf, s.colOf
+	u := 0
 	for ti, v := range m.Views {
-		p.varOf[ti] = make([]int, v.NumCols)
-		for c := 0; c < v.NumCols; c++ {
-			p.varOf[ti][c] = p.nVars
-			p.tableOf = append(p.tableOf, ti)
-			p.colOf = append(p.colOf, c)
-			p.nVars++
+		nt := v.NumCols
+		p.varOf[ti] = s.varOfB[u : u+nt : u+nt]
+		for c := 0; c < nt; c++ {
+			p.varOf[ti][c] = u
+			p.tableOf[u] = ti
+			p.colOf[u] = c
+			u++
 		}
 	}
-	p.nbrs = make([][]int, p.nVars)
-	p.unary = make([][]float64, p.nVars)
-	for u := 0; u < p.nVars; u++ {
+	s.unaryB = slicex.Grow(s.unaryB, nVars*p.labels)
+	s.unary = slicex.Grow(s.unary, nVars)
+	p.unary = s.unary
+	for u := 0; u < nVars; u++ {
 		ti, c := p.tableOf[u], p.colOf[u]
-		p.unary[u] = make([]float64, p.labels)
+		row := s.unaryB[u*p.labels : (u+1)*p.labels : (u+1)*p.labels]
+		p.unary[u] = row
 		for label := 0; label < p.labels; label++ {
-			p.unary[u][label] = -m.Node[ti][c][label]
+			row[label] = -m.Node[ti][c][label]
 		}
 	}
+	// Edge list in the canonical order: cross-table edges first, then the
+	// within-table constraint pairs.
+	edges := s.edges[:0]
 	for _, e := range m.Edges {
-		p.addEdge(mrfEdge{
+		edges = append(edges, mrfEdge{
 			u: p.varOf[e.T1][e.C1], v: p.varOf[e.T2][e.C2],
 			kind: crossEdge, coef: e.Coef(), includeNR: e.IncludeNR,
 		})
@@ -76,18 +104,33 @@ func newPairwiseMRF(m *core.Model, withMutex bool) *pairwiseMRF {
 	for ti, v := range m.Views {
 		for c1 := 0; c1 < v.NumCols; c1++ {
 			for c2 := c1 + 1; c2 < v.NumCols; c2++ {
-				p.addEdge(mrfEdge{u: p.varOf[ti][c1], v: p.varOf[ti][c2], kind: intraEdge})
+				edges = append(edges, mrfEdge{u: p.varOf[ti][c1], v: p.varOf[ti][c2], kind: intraEdge})
 			}
 		}
 	}
+	s.edges = edges
+	p.edges = edges
+	// Adjacency: count degrees, carve per-variable windows of one flat
+	// array, then fill in edge order — the same per-variable order the old
+	// append-as-added construction produced.
+	s.deg = slicex.GrowClear(s.deg, nVars)
+	for _, e := range edges {
+		s.deg[e.u]++
+		s.deg[e.v]++
+	}
+	s.nbrsB = slicex.Grow(s.nbrsB, 2*len(edges))
+	s.nbrs = slicex.Grow(s.nbrs, nVars)
+	p.nbrs = s.nbrs
+	off := 0
+	for u := 0; u < nVars; u++ {
+		p.nbrs[u] = s.nbrsB[off : off : off+s.deg[u]]
+		off += s.deg[u]
+	}
+	for id, e := range edges {
+		p.nbrs[e.u] = append(p.nbrs[e.u], id)
+		p.nbrs[e.v] = append(p.nbrs[e.v], id)
+	}
 	return p
-}
-
-func (p *pairwiseMRF) addEdge(e mrfEdge) {
-	id := len(p.edges)
-	p.edges = append(p.edges, e)
-	p.nbrs[e.u] = append(p.nbrs[e.u], id)
-	p.nbrs[e.v] = append(p.nbrs[e.v], id)
 }
 
 // pairEnergy evaluates the energy of edge e under labels (lu, lv).

@@ -3,6 +3,7 @@ package inference
 import (
 	"wwt/internal/core"
 	"wwt/internal/graph"
+	"wwt/internal/slicex"
 )
 
 // mustMatchBoost is the large constant M1 of §4.1 added to label-1 edges
@@ -16,18 +17,24 @@ const mustMatchBoost = 1e4
 // SolveIndependent labels every table independently and optimally (§4.1),
 // ignoring cross-table edge potentials.
 func SolveIndependent(m *core.Model) core.Labeling {
+	return solveIndependent(m, &Scratch{})
+}
+
+func solveIndependent(m *core.Model, s *Scratch) core.Labeling {
 	l := core.NewLabeling(m.NumQ, m.Cols())
 	for ti := range m.Views {
-		l.Y[ti] = solveTableMAP(m, ti, m.Node[ti])
+		solveTableMAPInto(m, ti, m.Node[ti], l.Y[ti], s)
 	}
 	return l
 }
 
-// solveTableMAP runs the §4.1 reduction for one table with (possibly
-// modified) node potentials: a generalized bipartite matching with
-// capacity-1 label nodes, an na node of capacity nt-m, the M1 boost on the
-// first query column, and a final comparison against the all-nr labeling.
-func solveTableMAP(m *core.Model, ti int, node [][]float64) []int {
+// solveTableMAPInto runs the §4.1 reduction for one table with (possibly
+// modified) node potentials, writing the optimal labels into dst (length
+// nt, fully overwritten): a generalized bipartite matching with capacity-1
+// label nodes, an na node of capacity nt-m, the M1 boost on the first
+// query column, and a final comparison against the all-nr labeling. All
+// solver state comes from s.
+func solveTableMAPInto(m *core.Model, ti int, node [][]float64, dst []int, s *Scratch) {
 	q := m.NumQ
 	nt := m.Views[ti].NumCols
 	mm := m.Params.MinMatch(q)
@@ -36,24 +43,33 @@ func solveTableMAP(m *core.Model, ti int, node [][]float64) []int {
 	for c := 0; c < nt; c++ {
 		nrScore += node[c][core.NR(q)]
 	}
-	allNR := make([]int, nt)
-	for c := range allNR {
-		allNR[c] = core.NR(q)
+	allNR := func() {
+		for c := range dst {
+			dst[c] = core.NR(q)
+		}
 	}
 	// A table narrower than m can never satisfy min-match: irrelevant.
 	if nt < mm {
-		return allNR
+		allNR()
+		return
 	}
 
-	capL := ones(nt)
-	capR := make([]int, q+1)
+	s.capL = slicex.Grow(s.capL, nt)
+	capL := s.capL
+	for i := range capL {
+		capL[i] = 1
+	}
+	s.capR = slicex.Grow(s.capR, q+1)
+	capR := s.capR
 	for j := 0; j < q; j++ {
 		capR[j] = 1
 	}
 	capR[q] = nt - mm
-	w := make([][]float64, nt)
+	s.wB = slicex.Grow(s.wB, nt*(q+1))
+	s.w = slicex.Grow(s.w, nt)
+	w := s.w
 	for c := 0; c < nt; c++ {
-		w[c] = make([]float64, q+1)
+		w[c] = s.wB[c*(q+1) : (c+1)*(q+1) : (c+1)*(q+1)]
 		for j := 0; j < q; j++ {
 			w[c][j] = node[c][j]
 			if j == 0 {
@@ -62,33 +78,32 @@ func solveTableMAP(m *core.Model, ti int, node [][]float64) []int {
 		}
 		w[c][q] = node[c][core.NA(q)]
 	}
-	sol := graph.SolveAssignment(capL, capR, w)
+	sol := graph.SolveAssignmentWS(capL, capR, w, &s.ws)
 	relevantScore := sol.Total - mustMatchBoost
 
 	if relevantScore <= nrScore {
-		return allNR
+		allNR()
+		return
 	}
-	labels := make([]int, nt)
 	for c := 0; c < nt; c++ {
 		j := sol.MatchL[c]
 		if j < 0 || j == q {
-			labels[c] = core.NA(q)
+			dst[c] = core.NA(q)
 		} else {
-			labels[c] = j
+			dst[c] = j
 		}
 	}
-	return labels
 }
 
 // repairTableConstraints re-solves any table whose labeling violates a
 // hard constraint (used as post-processing by the edge-centric methods,
 // §4.3). The repaired labeling is the per-table optimum of the node
 // potentials.
-func repairTableConstraints(m *core.Model, l core.Labeling) core.Labeling {
+func repairTableConstraints(m *core.Model, l core.Labeling, s *Scratch) core.Labeling {
 	q := m.NumQ
 	for ti := range m.Views {
 		if !tableFeasible(m, ti, l.Y[ti], q) {
-			l.Y[ti] = solveTableMAP(m, ti, m.Node[ti])
+			solveTableMAPInto(m, ti, m.Node[ti], l.Y[ti], s)
 		}
 	}
 	return l
@@ -126,12 +141,4 @@ func tableFeasible(m *core.Model, ti int, labels []int, q int) bool {
 		}
 	}
 	return true
-}
-
-func ones(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = 1
-	}
-	return out
 }

@@ -55,16 +55,28 @@ var Algorithms = []Algorithm{Independent, AlphaExpansion, BP, TRWS, TableCentric
 // Solve runs the chosen algorithm on the model and returns a labeling that
 // satisfies all hard constraints.
 func Solve(m *core.Model, alg Algorithm) core.Labeling {
+	return SolveScratch(m, alg, nil)
+}
+
+// SolveScratch is Solve through a caller-owned scratch arena, so a warm
+// arena runs a solve without reallocating its message buffers or solver
+// state. The labeling is always freshly allocated and safe to retain; s
+// may be reused the moment the call returns. A nil s uses a fresh private
+// arena (identical to Solve).
+func SolveScratch(m *core.Model, alg Algorithm, s *Scratch) core.Labeling {
+	if s == nil {
+		s = &Scratch{}
+	}
 	switch alg {
 	case TableCentric:
-		return SolveTableCentric(m)
+		return solveTableCentric(m, s)
 	case AlphaExpansion:
-		return SolveAlphaExpansion(m)
+		return solveAlphaExpansion(m, true, s)
 	case BP:
-		return SolveBP(m)
+		return solveBP(m, s)
 	case TRWS:
-		return SolveTRWS(m)
+		return solveTRWS(m, s)
 	default:
-		return SolveIndependent(m)
+		return solveIndependent(m, s)
 	}
 }

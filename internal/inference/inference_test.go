@@ -240,7 +240,7 @@ func TestRepairTableConstraints(t *testing.T) {
 	l := core.NewLabeling(q, m.Cols())
 	l.Y[0][0] = 0
 	l.Y[0][1] = 0
-	fixed := repairTableConstraints(m, l)
+	fixed := repairTableConstraints(m, l, &Scratch{})
 	if s := m.Score(fixed); math.IsInf(s, -1) {
 		t.Fatalf("repair left infeasible labeling: %v", fixed.Y)
 	}

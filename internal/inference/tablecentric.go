@@ -1,6 +1,9 @@
 package inference
 
-import "wwt/internal/core"
+import (
+	"wwt/internal/core"
+	"wwt/internal/slicex"
+)
 
 // tieBreakMsg scales the small additive share of the neighbor message kept
 // on top of the paper's max(msg, θ): max() alone cannot break exact node
@@ -24,14 +27,29 @@ const tieBreakMsg = 0.1
 // Stage 2 only strengthens real query-column labels: edges exist to
 // transfer column identities, never to spread irrelevance.
 func SolveTableCentric(m *core.Model) core.Labeling {
+	return solveTableCentric(m, &Scratch{})
+}
+
+func solveTableCentric(m *core.Model, s *Scratch) core.Labeling {
 	q := m.NumQ
-	// Stage 2: messages.
-	msg := make([][][]float64, len(m.Views))
+	// Stage 2: messages, accumulated into one cleared flat grid over
+	// (global column, query label).
+	nVars := 0
+	for _, v := range m.Views {
+		nVars += v.NumCols
+	}
+	s.msgB = slicex.GrowClear(s.msgB, nVars*q)
+	s.msgRows = slicex.Grow(s.msgRows, nVars)
+	s.msgTab = slicex.Grow(s.msgTab, len(m.Views))
+	msg := s.msgTab
+	gc := 0
 	for ti, v := range m.Views {
-		msg[ti] = make([][]float64, v.NumCols)
-		for c := range msg[ti] {
-			msg[ti][c] = make([]float64, q)
+		nt := v.NumCols
+		msg[ti] = s.msgRows[gc : gc+nt : gc+nt]
+		for c := 0; c < nt; c++ {
+			s.msgRows[gc+c] = s.msgB[(gc+c)*q : (gc+c+1)*q : (gc+c+1)*q]
 		}
+		gc += nt
 	}
 	for _, e := range m.Edges {
 		for ell := 0; ell < q; ell++ {
@@ -43,24 +61,30 @@ func SolveTableCentric(m *core.Model) core.Labeling {
 
 	// Stage 3: re-solve each table with boosted potentials.
 	l := core.NewLabeling(q, m.Cols())
+	labels := core.NumLabels(q)
 	for ti, v := range m.Views {
-		node := make([][]float64, v.NumCols)
-		for c := 0; c < v.NumCols; c++ {
-			node[c] = append([]float64(nil), m.Node[ti][c]...)
+		nt := v.NumCols
+		s.nodeB = slicex.Grow(s.nodeB, nt*labels)
+		s.node = slicex.Grow(s.node, nt)
+		node := s.node
+		for c := 0; c < nt; c++ {
+			row := s.nodeB[c*labels : (c+1)*labels : (c+1)*labels]
+			node[c] = row
+			copy(row, m.Node[ti][c])
 			for ell := 0; ell < q; ell++ {
 				// A zero message means "no neighbor evidence" and must not
 				// override a (possibly negative) node potential.
-				v := msg[ti][c][ell]
-				if v <= 0 {
+				mv := msg[ti][c][ell]
+				if mv <= 0 {
 					continue
 				}
-				if v > node[c][ell] {
-					node[c][ell] = v
+				if mv > row[ell] {
+					row[ell] = mv
 				}
-				node[c][ell] += tieBreakMsg * v
+				row[ell] += tieBreakMsg * mv
 			}
 		}
-		l.Y[ti] = solveTableMAP(m, ti, node)
+		solveTableMAPInto(m, ti, node, l.Y[ti], s)
 	}
 	return l
 }

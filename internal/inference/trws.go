@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"wwt/internal/core"
+	"wwt/internal/slicex"
 )
 
 // trwsIterations: each iteration is one forward plus one backward sweep.
@@ -16,13 +17,18 @@ const trwsIterations = 100
 // 2006) on the pairwise MRF (mutex + all-Irr as pairwise penalties) in
 // energy form, decodes sequentially, and repairs per-table violations.
 func SolveTRWS(m *core.Model) core.Labeling {
-	p := newPairwiseMRF(m, true)
+	return solveTRWS(m, &Scratch{})
+}
+
+func solveTRWS(m *core.Model, s *Scratch) core.Labeling {
+	p := newPairwiseMRFS(m, true, s)
 	L := p.labels
 	n := p.nVars
 
 	// Edge appearance coefficients: gamma_u = 1/max(#fwd, #bwd) over the
 	// monotonic chains induced by the variable order.
-	gamma := make([]float64, n)
+	s.gamma = slicex.Grow(s.gamma, n)
+	gamma := s.gamma
 	for u := 0; u < n; u++ {
 		fwd, bwd := 0, 0
 		for _, ei := range p.nbrs[u] {
@@ -46,12 +52,16 @@ func SolveTRWS(m *core.Model) core.Labeling {
 		gamma[u] = 1 / float64(d)
 	}
 
-	msg := make([][]float64, 2*len(p.edges))
+	s.emsgB = slicex.GrowClear(s.emsgB, 2*len(p.edges)*L)
+	s.emsg = slicex.Grow(s.emsg, 2*len(p.edges))
+	msg := s.emsg
 	for i := range msg {
-		msg[i] = make([]float64, L)
+		msg[i] = s.emsgB[i*L : (i+1)*L : (i+1)*L]
 	}
-	hat := make([]float64, L)
-	newMsg := make([]float64, L)
+	s.h = slicex.Grow(s.h, L)
+	hat := s.h
+	s.newMsg = slicex.Grow(s.newMsg, L)
+	newMsg := s.newMsg
 
 	sweep := func(forward bool) {
 		for step := 0; step < n; step++ {
@@ -108,9 +118,12 @@ func SolveTRWS(m *core.Model) core.Labeling {
 
 	// Sequential decode: condition each variable on already-decoded
 	// earlier neighbors.
-	y := make([]int, n)
-	decided := make([]bool, n)
+	s.y = slicex.Grow(s.y, n)
+	y := s.y
+	s.decided = slicex.GrowClear(s.decided, n)
+	decided := s.decided
 	for u := 0; u < n; u++ {
+		y[u] = 0
 		bestE := math.Inf(1)
 		for l := 0; l < L; l++ {
 			e := p.unary[u][l]
@@ -137,7 +150,7 @@ func SolveTRWS(m *core.Model) core.Labeling {
 		}
 		decided[u] = true
 	}
-	return repairTableConstraints(m, p.toLabeling(y))
+	return repairTableConstraints(m, p.toLabeling(y), s)
 }
 
 // outgoing returns the message slot leaving variable 'from' along edge ei.

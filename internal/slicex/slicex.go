@@ -1,0 +1,36 @@
+// Package slicex holds the grow-only buffer helpers shared by every
+// scratch arena (graph.Workspace, core.BuildScratch, inference.Scratch).
+// They live in one place so their semantics — in particular the
+// non-nil-on-reuse guarantee the pooled-vs-fresh equivalence tests depend
+// on — cannot drift between packages.
+package slicex
+
+// Grow returns buf resliced to n, reallocating when capacity is short.
+// The result is always non-nil (mirroring make), so slices exposed on
+// retained values compare identically whether the arena was virgin or
+// reused. Reused elements keep stale values: callers must overwrite every
+// entry (or use GrowClear) before reading.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) < n || buf == nil {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// GrowClear is Grow with every element reset to the zero value.
+func GrowClear[T any](buf []T, n int) []T {
+	out := Grow(buf, n)
+	clear(out)
+	return out
+}
+
+// GrowKeep is Grow preserving existing elements — for per-worker scratch
+// whose warm state should survive a capacity bump.
+func GrowKeep[T any](buf []T, n int) []T {
+	if cap(buf) >= n && buf != nil {
+		return buf[:n]
+	}
+	out := make([]T, n)
+	copy(out, buf)
+	return out
+}

@@ -41,12 +41,17 @@ type queryCase struct {
 	model  *core.Model
 }
 
-// prepare builds one model per workload query with the base params.
+// prepare builds one model per workload query with the base params. All
+// cacheless builds share one interner: the workload's candidate sets
+// overlap heavily, so the symbol table is populated once instead of per
+// query (cross-view IDs stay comparable — every view of one model interns
+// into the same table).
 func prepare(r *eval.Runner, base core.Params) []queryCase {
 	cases := make([]queryCase, 0, len(r.Queries))
+	in := core.NewInterner()
 	for _, q := range r.Queries {
 		tables, gt := r.CandidatesFor(q)
-		b := &core.Builder{Params: base, Stats: r.Engine.Index, PMI: r.Engine.PMISource()}
+		b := &core.Builder{Params: base, Stats: r.Engine.Index, PMI: r.Engine.PMISource(), Interner: in}
 		cases = append(cases, queryCase{
 			query: q, tables: tables, gt: gt,
 			model: b.Build(q.Columns, tables),

@@ -1,0 +1,306 @@
+package wwt
+
+// The Fig. 2 query path as an explicit staged pipeline:
+//
+//	Probe1 → Read1 → Probe2 → Read2 → ColumnMap → Infer → Consolidate
+//
+// Each stage is a named Engine method with explicit inputs/outputs carried
+// by a queryState, fed by one pooled QueryScratch arena. Candidates runs
+// the probe prefix; Answer runs the whole list. The stage list is the
+// seam later batching/sharding work builds on: a stage sees only the
+// state fields it declares, and the per-stage Timings split falls out of
+// the driver loop.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"wwt/internal/consolidate"
+	"wwt/internal/core"
+	"wwt/internal/index"
+	"wwt/internal/inference"
+	"wwt/internal/text"
+	"wwt/internal/wtable"
+)
+
+// QueryScratch is the pooled per-query arena: every stage's reusable flat
+// buffers live here — probe token buffers, the model builder's grids, the
+// inference message arrays, and consolidation's key indexes. The zero
+// value is ready to use.
+//
+// Ownership: an arena is drawn from the engine pool at the start of a
+// query and owned by exactly one query at a time. Candidates returns its
+// arena when it finishes; Answer hands it to the Result (whose Model
+// aliases the build arena) and it is recycled only by Result.Release.
+// Everything else a query returns — answer rows, labeling, tables, hits —
+// is freshly allocated, so an unreleased arena can never corrupt a
+// retained result. Scratch buffers must never be written into the
+// engine's cross-query caches; cache-owned slices referenced from scratch
+// fields are read-only.
+type QueryScratch struct {
+	tokens []string        // probe-1 query tokens
+	sample []string        // probe-2 token buffer (distinct from tokens: never aliased)
+	seen   map[string]bool // read-2 table dedup
+
+	build core.BuildScratch
+	infer inference.Scratch
+	cons  consolidate.Scratch
+}
+
+// getScratch draws an arena from the pool (fresh when empty).
+func (e *Engine) getScratch() *QueryScratch {
+	if s, ok := e.scratch.Get().(*QueryScratch); ok && s != nil {
+		return s
+	}
+	return &QueryScratch{}
+}
+
+// putScratch returns an arena to the pool.
+func (e *Engine) putScratch(s *QueryScratch) { e.scratch.Put(s) }
+
+// queryState is the data flowing between pipeline stages. Each stage
+// reads the fields earlier stages wrote and fills its own outputs; all
+// retained outputs (tables, model payload, labeling, answer) own their
+// storage except model, which aliases the query's arena.
+type queryState struct {
+	query  Query
+	tokens []string // normalized probe-1 tokens (scratch-backed)
+
+	hits1 []index.Hit // first-probe hits
+	hits2 []index.Hit // second-probe hits (when probe2Fired)
+
+	tables      []*wtable.Table // deduplicated candidates, probe-1 order first
+	probe2Fired bool
+
+	model    *core.Model
+	labeling core.Labeling
+	answer   *consolidate.Answer
+}
+
+// pipelineStage names one stage and binds it to its Timings slot. run
+// reports whether the stage actually did work: a skipped stage (e.g. the
+// second probe when disabled or unseeded) leaves its Timings slot at zero.
+type pipelineStage struct {
+	name  string
+	clock func(*Timings) *time.Duration
+	run   func(*Engine, *queryState, *QueryScratch) (bool, error)
+}
+
+// answerPipeline is the full Fig. 2 online path; probePipeline is the
+// candidate-retrieval prefix Candidates runs.
+var answerPipeline = []pipelineStage{
+	{"probe1", func(t *Timings) *time.Duration { return &t.Probe1 }, (*Engine).stageProbe1},
+	{"read1", func(t *Timings) *time.Duration { return &t.Read1 }, (*Engine).stageRead1},
+	{"probe2", func(t *Timings) *time.Duration { return &t.Probe2 }, (*Engine).stageProbe2},
+	{"read2", func(t *Timings) *time.Duration { return &t.Read2 }, (*Engine).stageRead2},
+	{"colmap", func(t *Timings) *time.Duration { return &t.ColumnMap }, (*Engine).stageColumnMap},
+	{"infer", func(t *Timings) *time.Duration { return &t.Infer }, (*Engine).stageInfer},
+	{"consolidate", func(t *Timings) *time.Duration { return &t.Consolidate }, (*Engine).stageConsolidate},
+}
+
+var probePipeline = answerPipeline[:4]
+
+// runStages drives a stage list over one query, recording each stage's
+// wall time in its Timings slot.
+func (e *Engine) runStages(stages []pipelineStage, st *queryState, s *QueryScratch, tm *Timings) error {
+	for i := range stages {
+		start := time.Now()
+		ran, err := stages[i].run(e, st, s)
+		if ran && tm != nil {
+			*stages[i].clock(tm) = time.Since(start)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageProbe1 normalizes the query columns into one keyword set and runs
+// the first index probe.
+func (e *Engine) stageProbe1(st *queryState, s *QueryScratch) (bool, error) {
+	if len(st.query.Columns) == 0 {
+		return false, fmt.Errorf("wwt: empty query")
+	}
+	tokens := s.tokens[:0]
+	for _, col := range st.query.Columns {
+		tokens = append(tokens, text.Normalize(col)...)
+	}
+	s.tokens = tokens
+	st.tokens = tokens
+	if len(tokens) == 0 {
+		return false, fmt.Errorf("wwt: query has no content words")
+	}
+	st.hits1 = e.search(tokens, e.Opts.ProbeK)
+	return true, nil
+}
+
+// stageRead1 materializes the first-probe candidate tables from the store.
+func (e *Engine) stageRead1(st *queryState, _ *QueryScratch) (bool, error) {
+	st.tables = e.readTables(st.hits1)
+	return true, nil
+}
+
+// stageProbe2 runs the content-overlap re-probe of §2.2.1: a stage-1
+// column mapping finds confident tables, rows sampled from them extend the
+// keyword set, and the index is probed again. The stage-1 model is built
+// in the query's arena and dead before the stage returns, so ColumnMap
+// can reuse the same grids.
+func (e *Engine) stageProbe2(st *queryState, s *QueryScratch) (bool, error) {
+	if !e.Opts.SecondProbe || len(st.tables) == 0 {
+		return false, nil
+	}
+	m := e.builder().BuildWith(st.query.Columns, st.tables, &s.build)
+	l := inference.SolveScratch(m, inference.Independent, &s.infer)
+	type scored struct {
+		ti  int
+		rel float64
+	}
+	// Top-two confident tables by relevance in one linear scan; strict
+	// comparisons keep the earlier table on ties, matching a stable sort.
+	var confident [2]scored
+	nConf := 0
+	for ti := range st.tables {
+		if !l.Relevant(ti) || m.Rel[ti] < e.Opts.MinConfidentRelevance {
+			continue
+		}
+		sc := scored{ti, m.Rel[ti]}
+		switch {
+		case nConf == 0:
+			confident[0] = sc
+			nConf = 1
+		case sc.rel > confident[0].rel:
+			confident[1] = confident[0]
+			if nConf < 2 {
+				nConf = 2
+			}
+			confident[0] = sc
+		case nConf < 2:
+			confident[1] = sc
+			nConf = 2
+		case sc.rel > confident[1].rel:
+			confident[1] = sc
+		}
+	}
+	if nConf == 0 {
+		// No confident seed table: the second probe never fires. Report the
+		// stage as skipped so Timings.Probe2 stays zero (the stage-1 mapping
+		// cost stays untimed, as it always was), consistent with UsedProbe2.
+		return false, nil
+	}
+	// Sample rows deterministically per query.
+	h := fnv.New64a()
+	for _, c := range st.query.Columns {
+		h.Write([]byte(c))
+	}
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	// Probe-2 tokens go into their own scratch buffer — never an alias of
+	// tokens, so appending can't grow into (and later clobber) its array.
+	sample := append(s.sample[:0], st.tokens...)
+	for i := 0; i < nConf; i++ {
+		tb := st.tables[confident[i].ti]
+		take := e.Opts.SecondProbeRows
+		if rows := tb.NumBodyRows(); take > rows {
+			take = rows
+		}
+		for _, r := range sampleRows(rng, tb.NumBodyRows(), take) {
+			for c := 0; c < tb.NumCols(); c++ {
+				sample = append(sample, text.Normalize(tb.Body(r, c))...)
+			}
+		}
+	}
+	s.sample = sample
+	st.hits2 = e.search(sample, e.Opts.ProbeK)
+	st.probe2Fired = true
+	return true, nil
+}
+
+// stageRead2 merges the second-probe tables into the candidate list,
+// keeping first-probe order first and dropping duplicates.
+func (e *Engine) stageRead2(st *queryState, s *QueryScratch) (bool, error) {
+	if !st.probe2Fired {
+		return false, nil
+	}
+	if s.seen == nil {
+		s.seen = make(map[string]bool, 2*len(st.tables))
+	}
+	clear(s.seen)
+	seen := s.seen
+	for _, t := range st.tables {
+		seen[t.ID] = true
+	}
+	for _, t := range e.readTables(st.hits2) {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			st.tables = append(st.tables, t)
+		}
+	}
+	return true, nil
+}
+
+// stageColumnMap assembles the §3 graphical model over the candidate set,
+// reusing the arena grids the stage-1 build warmed.
+func (e *Engine) stageColumnMap(st *queryState, s *QueryScratch) (bool, error) {
+	st.model = e.builder().BuildWith(st.query.Columns, st.tables, &s.build)
+	return true, nil
+}
+
+// stageInfer runs the configured collective inference algorithm (§4).
+func (e *Engine) stageInfer(st *queryState, s *QueryScratch) (bool, error) {
+	st.labeling = inference.SolveScratch(st.model, e.Opts.Algorithm, &s.infer)
+	return true, nil
+}
+
+// stageConsolidate merges and ranks the relevant tables' rows (§2.2.3).
+func (e *Engine) stageConsolidate(st *queryState, s *QueryScratch) (bool, error) {
+	st.answer = consolidate.ConsolidateScratch(len(st.query.Columns), st.tables,
+		st.labeling, st.model.Conf, st.model.Rel, e.Opts.Consolidate, &s.cons)
+	return true, nil
+}
+
+// Candidates runs the two-stage index probe of §2.2.1 — the probe prefix
+// of the pipeline — and returns the candidate tables (deduplicated,
+// first-probe order first). It reports whether the second probe fired and
+// accumulates stage timings. The probe scratch comes from the engine pool
+// and is returned before Candidates does.
+func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error) {
+	s := e.getScratch()
+	defer e.putScratch(s)
+	st := &queryState{query: q}
+	if err := e.runStages(probePipeline, st, s, tm); err != nil {
+		return nil, false, err
+	}
+	return st.tables, st.probe2Fired, nil
+}
+
+// Answer runs the full pipeline: probes, column mapping with the
+// configured inference algorithm, and consolidation. The per-query arena
+// is drawn from the engine pool and handed to the Result; call
+// Result.Release to recycle it (see QueryScratch for the contract).
+func (e *Engine) Answer(q Query) (*Result, error) {
+	s := e.getScratch()
+	res, err := e.answer(q, s)
+	if err != nil {
+		e.putScratch(s)
+		return nil, err
+	}
+	return res, nil
+}
+
+// answer drives the full stage list with the given arena; the returned
+// Result owns the arena.
+func (e *Engine) answer(q Query, s *QueryScratch) (*Result, error) {
+	res := &Result{engine: e, scratch: s}
+	st := &queryState{query: q}
+	if err := e.runStages(answerPipeline, st, s, &res.Timings); err != nil {
+		return nil, err
+	}
+	res.Tables = st.tables
+	res.UsedProbe2 = st.probe2Fired
+	res.Model = st.model
+	res.Labeling = st.labeling
+	res.Answer = st.answer
+	return res, nil
+}

@@ -5,6 +5,17 @@
 // the graphical-model column mapper of §3 with the inference algorithms of
 // §4, and the consolidator/ranker of §2.2.3.
 //
+// The query path is an explicit staged pipeline —
+//
+//	Probe1 → Read1 → Probe2 → Read2 → ColumnMap → Infer → Consolidate
+//
+// (see pipeline.go) — where every stage is a named method fed by a pooled
+// per-query scratch arena (QueryScratch), so the flat buffers behind
+// probing, model building, inference and consolidation are reused across
+// queries instead of reallocated. Result.Release returns a query's arena
+// to the engine's pool; serving loops that call it answer queries with
+// near-zero steady-state allocation.
+//
 // Typical use:
 //
 //	tables := extract.Page(url, html, extract.NewOptions())   // offline
@@ -12,19 +23,19 @@
 //	res, err := eng.Answer(wwt.Query{Columns: []string{
 //	    "name of explorers", "nationality", "areas explored"}})
 //	for _, row := range res.Answer.Rows { ... }
+//	res.Release() // optional: recycle the per-query arena
 package wwt
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
+	"sync"
 	"time"
 
 	"wwt/internal/consolidate"
 	"wwt/internal/core"
 	"wwt/internal/index"
 	"wwt/internal/inference"
-	"wwt/internal/text"
 	"wwt/internal/wtable"
 )
 
@@ -73,19 +84,22 @@ func DefaultOptions() Options {
 	}
 }
 
-// Timings is the per-stage running time split of Fig. 7.
+// Timings is the per-stage running time split of Fig. 7: one field per
+// pipeline stage. ColumnMap covers only the model build; Infer is the
+// collective inference solve, reported separately.
 type Timings struct {
 	Probe1      time.Duration
 	Read1       time.Duration
 	Probe2      time.Duration
 	Read2       time.Duration
 	ColumnMap   time.Duration
+	Infer       time.Duration
 	Consolidate time.Duration
 }
 
 // Total sums all stages.
 func (t Timings) Total() time.Duration {
-	return t.Probe1 + t.Read1 + t.Probe2 + t.Read2 + t.ColumnMap + t.Consolidate
+	return t.Probe1 + t.Read1 + t.Probe2 + t.Read2 + t.ColumnMap + t.Infer + t.Consolidate
 }
 
 // Result is the full outcome of answering a query.
@@ -96,12 +110,33 @@ type Result struct {
 	Model      *core.Model
 	UsedProbe2 bool
 	Timings    Timings
+
+	// The pooled arena backing Model, owned by this result until Release.
+	engine  *Engine
+	scratch *QueryScratch
+}
+
+// Release returns the result's pooled per-query arena to the engine so a
+// later Answer can reuse it. The Model is scratch-backed and is nilled
+// out here; the Answer rows, Labeling, Tables and Timings own their
+// storage and stay valid. Release is optional — an unreleased arena is
+// simply garbage-collected with the result — and must be called at most
+// once, after which the Result's Model must not be used.
+func (r *Result) Release() {
+	if r.scratch == nil || r.engine == nil {
+		return
+	}
+	s, e := r.scratch, r.engine
+	r.scratch, r.engine = nil, nil
+	r.Model = nil
+	e.putScratch(s)
 }
 
 // Engine answers column-keyword queries over an indexed table corpus. An
 // engine is immutable after construction and safe for concurrent Answer /
 // Candidates / MapColumns calls: the hot path runs on a frozen flat
-// searcher, and the PMI doc-set and table-view caches are concurrency-safe.
+// searcher, the PMI doc-set and table-view caches are concurrency-safe,
+// and every in-flight query draws its own scratch arena from the pool.
 type Engine struct {
 	Index *index.Index
 	Store *index.Store
@@ -111,6 +146,7 @@ type Engine struct {
 	docsets  *index.DocSetCache
 	views    *core.ViewCache
 	pairs    *core.PairSimCache
+	scratch  sync.Pool // *QueryScratch
 }
 
 // NewEngine indexes the given tables and returns a ready engine. opts may
@@ -201,120 +237,6 @@ func (s indexPMI) ContentDocs(tokens []string) []int32 {
 	return s.ix.DocSet(tokens, index.FieldContent)
 }
 
-// Candidates runs the two-stage index probe of §2.2.1 and returns the
-// candidate tables (deduplicated, first-probe order first). It reports
-// whether the second probe fired and accumulates stage timings.
-func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error) {
-	if len(q.Columns) == 0 {
-		return nil, false, fmt.Errorf("wwt: empty query")
-	}
-	var tokens []string
-	for _, col := range q.Columns {
-		tokens = append(tokens, text.Normalize(col)...)
-	}
-	if len(tokens) == 0 {
-		return nil, false, fmt.Errorf("wwt: query has no content words")
-	}
-	start := time.Now()
-	hits := e.search(tokens, e.Opts.ProbeK)
-	if tm != nil {
-		tm.Probe1 = time.Since(start)
-	}
-	start = time.Now()
-	tables := e.readTables(hits)
-	if tm != nil {
-		tm.Read1 = time.Since(start)
-	}
-	if !e.Opts.SecondProbe || len(tables) == 0 {
-		return tables, false, nil
-	}
-
-	// Stage 1 mapping to find confident tables.
-	m := e.builder().Build(q.Columns, tables)
-	l := inference.SolveIndependent(m)
-	type scored struct {
-		ti  int
-		rel float64
-	}
-	// Top-two confident tables by relevance in one linear scan; strict
-	// comparisons keep the earlier table on ties, matching the old stable
-	// sort.
-	confident := make([]scored, 0, 2)
-	for ti := range tables {
-		if !l.Relevant(ti) || m.Rel[ti] < e.Opts.MinConfidentRelevance {
-			continue
-		}
-		s := scored{ti, m.Rel[ti]}
-		switch {
-		case len(confident) == 0:
-			confident = append(confident, s)
-		case s.rel > confident[0].rel:
-			if len(confident) < 2 {
-				confident = append(confident, confident[0])
-			} else {
-				confident[1] = confident[0]
-			}
-			confident[0] = s
-		case len(confident) < 2:
-			confident = append(confident, s)
-		case s.rel > confident[1].rel:
-			confident[1] = s
-		}
-	}
-	if len(confident) == 0 {
-		return tables, false, nil
-	}
-	// Sample rows deterministically per query.
-	h := fnv.New64a()
-	for _, c := range q.Columns {
-		h.Write([]byte(c))
-	}
-	rng := rand.New(rand.NewSource(int64(h.Sum64())))
-	// Probe-2 tokens get their own backing array — appending to an alias
-	// of tokens could grow into (and later clobber) tokens' array — sized
-	// for the sampled cells at a guessed couple of tokens each.
-	takes := make([]int, len(confident))
-	capHint := len(tokens)
-	for i, sc := range confident {
-		tb := tables[sc.ti]
-		takes[i] = e.Opts.SecondProbeRows
-		if rows := tb.NumBodyRows(); takes[i] > rows {
-			takes[i] = rows
-		}
-		capHint += takes[i] * tb.NumCols() * 2
-	}
-	sample := make([]string, len(tokens), capHint)
-	copy(sample, tokens)
-	for i, sc := range confident {
-		tb := tables[sc.ti]
-		for _, r := range sampleRows(rng, tb.NumBodyRows(), takes[i]) {
-			for c := 0; c < tb.NumCols(); c++ {
-				sample = append(sample, text.Normalize(tb.Body(r, c))...)
-			}
-		}
-	}
-	start = time.Now()
-	hits2 := e.search(sample, e.Opts.ProbeK)
-	if tm != nil {
-		tm.Probe2 = time.Since(start)
-	}
-	start = time.Now()
-	seen := make(map[string]bool, len(tables))
-	for _, t := range tables {
-		seen[t.ID] = true
-	}
-	for _, t := range e.readTables(hits2) {
-		if !seen[t.ID] {
-			seen[t.ID] = true
-			tables = append(tables, t)
-		}
-	}
-	if tm != nil {
-		tm.Read2 = time.Since(start)
-	}
-	return tables, true, nil
-}
-
 // sampleRows draws take distinct row indices from [0, rows) with a sparse
 // partial Fisher–Yates: only the displaced slots of the virtual identity
 // permutation are materialized, so the cost is O(take) draws and memory
@@ -351,31 +273,9 @@ func (e *Engine) readTables(hits []index.Hit) []*wtable.Table {
 	return out
 }
 
-// Answer runs the full pipeline: probes, column mapping with the
-// configured inference algorithm, and consolidation.
-func (e *Engine) Answer(q Query) (*Result, error) {
-	res := &Result{}
-	tables, usedProbe2, err := e.Candidates(q, &res.Timings)
-	if err != nil {
-		return nil, err
-	}
-	res.Tables = tables
-	res.UsedProbe2 = usedProbe2
-
-	start := time.Now()
-	m := e.builder().Build(q.Columns, tables)
-	res.Model = m
-	res.Labeling = inference.Solve(m, e.Opts.Algorithm)
-	res.Timings.ColumnMap = time.Since(start)
-
-	start = time.Now()
-	res.Answer = consolidate.Consolidate(len(q.Columns), tables, res.Labeling, m.Conf, m.Rel, e.Opts.Consolidate)
-	res.Timings.Consolidate = time.Since(start)
-	return res, nil
-}
-
 // MapColumns runs only the column-mapping stage over caller-supplied
 // candidates — the §3 task in isolation, used by the experiments. The
+// model is built with a private arena (safe to retain indefinitely). The
 // engine's table-view cache retains every table passed here (and its
 // analyzed view) for the engine's lifetime; callers streaming an unbounded
 // sequence of fresh tables through a long-lived engine should construct a

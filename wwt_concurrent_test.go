@@ -128,6 +128,95 @@ func TestAnswerConcurrentPairSimCache(t *testing.T) {
 	wg.Wait()
 }
 
+// TestAnswerScratchPoolConcurrent hammers the engine's scratch-arena pool
+// (run under -race): 16 goroutines answer overlapping queries, each
+// releasing its arena back to the shared pool, so arenas are constantly
+// recycled between goroutines mid-flight. Every result must be identical
+// to the serial fresh-scratch reference run (whose arenas are deliberately
+// never released, so the references cannot alias the pool).
+func TestAnswerScratchPoolConcurrent(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []wwt.Query{
+		{Columns: []string{"country", "currency"}},
+		{Columns: []string{"currency", "country"}},
+		{Columns: []string{"country"}},
+		{Columns: []string{"name", "area"}},
+	}
+	// Serial fresh-scratch references: retained (not Released), so they own
+	// their arenas for the test's lifetime.
+	ref := make([]*wwt.Result, len(queries))
+	for i, q := range queries {
+		res, err := eng.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = res
+	}
+
+	const goroutines = 16
+	const rounds = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (g*5 + r) % len(queries)
+				res, err := eng.Answer(queries[qi])
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				ok := reflect.DeepEqual(res.Labeling.Y, ref[qi].Labeling.Y) &&
+					reflect.DeepEqual(res.Model.Edges, ref[qi].Model.Edges) &&
+					reflect.DeepEqual(res.Answer, ref[qi].Answer)
+				res.Release()
+				if !ok {
+					t.Errorf("goroutine %d query %d: pooled result diverged from fresh reference", g, qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestAnswerWarmPoolAllocs guards the scratch-pool win: a warm-pool Answer
+// + Release cycle must stay under a fixed allocation ceiling, so later
+// changes can't silently reintroduce per-query grid churn. The ceiling is
+// loose (inherent per-query allocations: result payload, hits, labeling,
+// token normalization) but far below the thousands of allocations the
+// unpooled build used to make.
+func TestAnswerWarmPoolAllocs(t *testing.T) {
+	eng, err := wwt.NewEngine(smallCorpus(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := wwt.Query{Columns: []string{"country", "currency"}}
+	// Warm every cache and the arena pool.
+	for i := 0; i < 3; i++ {
+		res, err := eng.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		res, err := eng.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	})
+	const ceiling = 400
+	if allocs > ceiling {
+		t.Errorf("warm-pool Answer allocates %.0f/op, ceiling %d", allocs, ceiling)
+	}
+}
+
 // TestEngineProbeMatchesMapScorer pins the engine's frozen-searcher probe
 // to the reference map-based scorer at the API level: same hits, same
 // order, same scores.
