@@ -1,0 +1,232 @@
+package wwt
+
+// Batched multi-query execution: AnswerBatch and CandidatesBatch run many
+// queries through the same stage list (pipeline.go) on a bounded worker
+// pool. Each worker holds exactly one pooled QueryScratch arena at a time,
+// every worker shares the engine's warm cross-query caches (table views,
+// pair similarities, PMI doc sets, normalized cells), and each member
+// query's output is bit-identical to a solo Answer/Candidates call —
+// pinned by TestAnswerBatchEquivalence. A failing (or even panicking)
+// member is isolated to its own slot; the rest of the batch completes.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wwt/internal/wtable"
+)
+
+// BatchTimings aggregates one batch run. Stages sums every member query's
+// per-stage wall time, so with overlapping workers the sum exceeds Wall —
+// the ratio Stages.Total()/Wall is the realized parallelism.
+type BatchTimings struct {
+	// Stages is the per-stage time summed over all successful members.
+	Stages Timings
+	// Wall is the wall-clock time of the whole batch.
+	Wall time.Duration
+	// Workers is the number of worker goroutines the batch ran on.
+	Workers int
+	// Queries is the number of member queries (successful + failed).
+	Queries int
+	// Failed is the number of members that returned an error.
+	Failed int
+}
+
+// QPS returns the realized batch throughput in queries per second.
+func (t BatchTimings) QPS() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Queries) / t.Wall.Seconds()
+}
+
+// add accumulates one member query's stage split.
+func (t *BatchTimings) add(q Timings) {
+	t.Stages.Probe1 += q.Probe1
+	t.Stages.Read1 += q.Read1
+	t.Stages.Probe2 += q.Probe2
+	t.Stages.Read2 += q.Read2
+	t.Stages.ColumnMap += q.ColumnMap
+	t.Stages.Infer += q.Infer
+	t.Stages.Consolidate += q.Consolidate
+}
+
+// BatchResult holds a batch's per-query outcomes, index-aligned with the
+// queries passed to AnswerBatch: Results[i] is nil exactly when Errs[i] is
+// non-nil. Each non-nil Result owns its pooled arena just like a solo
+// Answer; release them individually as they are consumed, or call
+// BatchResult.Release once for the rest.
+type BatchResult struct {
+	Results []*Result
+	Errs    []error
+	Timings BatchTimings
+}
+
+// FirstErr returns the error of the lowest-indexed failed member, or nil
+// when every member succeeded.
+func (b *BatchResult) FirstErr() error {
+	for _, err := range b.Errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Release releases every remaining result's arena back to the engine pool
+// (already-released and failed members are skipped). Like Result.Release
+// it is optional and invalidates only the scratch-backed Models; answer
+// rows, labelings and tables stay valid.
+func (b *BatchResult) Release() {
+	for _, r := range b.Results {
+		if r != nil {
+			r.Release()
+		}
+	}
+}
+
+// CandidateSet is one CandidatesBatch member's outcome: the deduplicated
+// candidate tables (first-probe order first), whether the second probe
+// fired, and the member's probe-stage time split.
+type CandidateSet struct {
+	Tables     []*wtable.Table
+	UsedProbe2 bool
+	Timings    Timings
+}
+
+// batchWorkers resolves a caller worker count: non-positive means
+// GOMAXPROCS, and a batch never runs more workers than members.
+func batchWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// forEachQuery fans indices 0..n-1 out over a bounded worker pool. Each
+// worker draws one arena from the engine pool and hands it to fn query by
+// query; fn reports whether it retained the arena (gave it to a Result),
+// in which case the worker draws a fresh one. A panicking fn is recovered
+// into onPanic and its arena is discarded — a half-written arena never
+// re-enters the pool. Returns the worker count actually used.
+func (e *Engine) forEachQuery(n, workers int, fn func(i int, s *QueryScratch) (retained bool), onPanic func(i int, v any)) int {
+	workers = batchWorkers(workers, n)
+	if workers == 0 {
+		return 0
+	}
+	runOne := func(i int, s *QueryScratch) (retained, poisoned bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				onPanic(i, r)
+				retained, poisoned = false, true
+			}
+		}()
+		return fn(i, s), false
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.getScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				retained, poisoned := runOne(i, s)
+				if poisoned {
+					s = &QueryScratch{}
+				} else if retained {
+					s = e.getScratch()
+				}
+			}
+			e.putScratch(s)
+		}()
+	}
+	wg.Wait()
+	return workers
+}
+
+// AnswerBatch answers many queries through the full pipeline on a bounded
+// worker pool (workers <= 0 means GOMAXPROCS). Every worker reuses one
+// pooled arena across the member queries it serves — a member that
+// produces a Result hands the arena over, exactly as a solo Answer does,
+// and the worker draws the next one from the pool — and all members share
+// the engine's warm cross-query caches. Each member's output is
+// bit-identical to a solo Answer of the same query on the same engine.
+//
+// Members are isolated: one query returning an error (or panicking; the
+// panic is recovered into its error slot) does not affect the others.
+// BatchResult.Timings aggregates the batch; per-query splits stay on each
+// Result.Timings.
+func (e *Engine) AnswerBatch(queries []Query, workers int) *BatchResult {
+	start := time.Now()
+	br := &BatchResult{
+		Results: make([]*Result, len(queries)),
+		Errs:    make([]error, len(queries)),
+	}
+	br.Timings.Queries = len(queries)
+	br.Timings.Workers = e.forEachQuery(len(queries), workers, func(i int, s *QueryScratch) bool {
+		res, err := e.answer(queries[i], s)
+		if err != nil {
+			br.Errs[i] = err
+			return false
+		}
+		br.Results[i] = res
+		return true
+	}, func(i int, v any) {
+		br.Errs[i] = fmt.Errorf("wwt: batch member %d panicked: %v", i, v)
+	})
+	for i, r := range br.Results {
+		if br.Errs[i] != nil {
+			br.Timings.Failed++
+			continue
+		}
+		br.Timings.add(r.Timings)
+	}
+	br.Timings.Wall = time.Since(start)
+	return br
+}
+
+// CandidatesBatch runs the candidate-retrieval prefix of the pipeline for
+// many queries on a bounded worker pool (workers <= 0 means GOMAXPROCS),
+// with the same sharing, determinism and isolation contracts as
+// AnswerBatch. Candidate retrieval never retains an arena, so each worker
+// keeps its single arena for the whole batch. The returned slices are
+// index-aligned with queries; sets[i] is meaningful only when errs[i] is
+// nil.
+func (e *Engine) CandidatesBatch(queries []Query, workers int) (sets []CandidateSet, errs []error, bt BatchTimings) {
+	start := time.Now()
+	sets = make([]CandidateSet, len(queries))
+	errs = make([]error, len(queries))
+	bt.Queries = len(queries)
+	bt.Workers = e.forEachQuery(len(queries), workers, func(i int, s *QueryScratch) bool {
+		st := &queryState{query: queries[i]}
+		if err := e.runStages(probePipeline, st, s, &sets[i].Timings); err != nil {
+			errs[i] = err
+			return false
+		}
+		sets[i].Tables = st.tables
+		sets[i].UsedProbe2 = st.probe2Fired
+		return false
+	}, func(i int, v any) {
+		errs[i] = fmt.Errorf("wwt: batch member %d panicked: %v", i, v)
+	})
+	for i := range sets {
+		if errs[i] != nil {
+			bt.Failed++
+			continue
+		}
+		bt.add(sets[i].Timings)
+	}
+	bt.Wall = time.Since(start)
+	return sets, errs, bt
+}

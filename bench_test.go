@@ -364,6 +364,54 @@ func BenchmarkAnswerConcurrent(b *testing.B) {
 	})
 }
 
+// batchQueries converts the workload into the public query type once.
+func batchQueries(w *benchWorld) []wwt.Query {
+	out := make([]wwt.Query, len(w.queries))
+	for i, q := range w.queries {
+		out[i] = wwt.Query{Columns: q.Columns}
+	}
+	return out
+}
+
+// BenchmarkAnswerBatch measures batched full-pipeline throughput: the
+// whole workload per iteration through AnswerBatch on a GOMAXPROCS worker
+// pool, every member released back to the arena pool. Compare against
+// BenchmarkAnswerBatchSerial (same queries, solo Answer loop) for the
+// queries/sec speedup; both report a qps metric.
+func BenchmarkAnswerBatch(b *testing.B) {
+	w := getWorld(b)
+	queries := batchQueries(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := w.engine.AnswerBatch(queries, 0)
+		if err := br.FirstErr(); err != nil {
+			b.Fatal(err)
+		}
+		br.Release()
+	}
+	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkAnswerBatchSerial is the before side of the batch entry point:
+// the same workload answered one query at a time (arenas still pooled via
+// Release), so the only difference from BenchmarkAnswerBatch is the
+// batch-level worker pool.
+func BenchmarkAnswerBatchSerial(b *testing.B) {
+	w := getWorld(b)
+	queries := batchQueries(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			res, err := w.engine.Answer(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Release()
+		}
+	}
+	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "qps")
+}
+
 // BenchmarkIndexBuild measures building the boosted 3-field index.
 func BenchmarkIndexBuild(b *testing.B) {
 	w := getWorld(b)

@@ -24,6 +24,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1|probe2|fig5|fig6|fig7|fig8|table2|all")
 	seed := flag.Int64("seed", 2012, "corpus generation seed")
 	scale := flag.Float64("scale", 1.0, "corpus size multiplier")
+	workers := flag.Int("workers", 0, "batched pipeline workers; 0 = serial (faithful Fig 7 stage times), >1 trades timing fidelity for wall clock")
 	flag.Parse()
 
 	start := time.Now()
@@ -32,6 +33,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "setup failed:", err)
 		os.Exit(1)
 	}
+	runner.Workers = *workers
 	fmt.Printf("corpus: %d pages, %d extracted tables, %d queries (setup %.1fs)\n\n",
 		len(runner.Corpus.Pages), len(runner.Tables), len(runner.Queries),
 		time.Since(start).Seconds())

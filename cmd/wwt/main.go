@@ -1,12 +1,17 @@
-// Command wwt answers a column-keyword query against a persisted index:
+// Command wwt answers column-keyword queries against a persisted index:
 //
 //	wwt -idx ./idx "name of explorers | nationality | areas explored"
+//	wwt -idx ./idx -batch queries.txt -workers 8
 //
-// Column keyword sets are separated by '|'. Flags select the inference
-// algorithm and control output size.
+// Column keyword sets are separated by '|'. In batch mode each
+// non-empty, non-comment line of the query file is one query; the batch
+// runs on a bounded worker pool and prints per-query summaries plus the
+// aggregate stage split and realized throughput. Flags select the
+// inference algorithm and control output size.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -24,21 +29,24 @@ func main() {
 	maxRows := flag.Int("rows", 20, "max answer rows to print")
 	showSources := flag.Bool("sources", false, "print contributing source tables")
 	explain := flag.Bool("explain", false, "print per-table mapping rationale")
+	batchFile := flag.String("batch", "", "file of queries, one per line ('-' = stdin); answers them as one batch")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, `usage: wwt -idx DIR "col1 keywords | col2 keywords | ..."`)
+	single := *batchFile == ""
+	if (single && flag.NArg() != 1) || (!single && flag.NArg() != 0) {
+		fmt.Fprintln(os.Stderr, `usage: wwt -idx DIR "col1 keywords | col2 keywords | ..."
+       wwt -idx DIR -batch FILE [-workers N]`)
 		os.Exit(2)
 	}
+	// Validate the single query up front: a content-free query must fail
+	// before the (potentially large) index is loaded.
 	var cols []string
-	for _, c := range strings.Split(flag.Arg(0), "|") {
-		if c = strings.TrimSpace(c); c != "" {
-			cols = append(cols, c)
+	if single {
+		if cols = parseColumns(flag.Arg(0)); len(cols) == 0 {
+			fmt.Fprintln(os.Stderr, "wwt: empty query")
+			os.Exit(2)
 		}
-	}
-	if len(cols) == 0 {
-		fmt.Fprintln(os.Stderr, "wwt: empty query")
-		os.Exit(2)
 	}
 
 	ix, err := index.Load(filepath.Join(*idxDir, "index.gob"))
@@ -65,6 +73,12 @@ func main() {
 		fatal(fmt.Errorf("unknown algorithm %q", *alg))
 	}
 	eng := wwt.NewEngineFrom(ix, st, &opts)
+
+	if !single {
+		runBatch(eng, *batchFile, *workers)
+		return
+	}
+
 	res, err := eng.Answer(wwt.Query{Columns: cols})
 	if err != nil {
 		fatal(err)
@@ -108,12 +122,91 @@ func main() {
 	}
 }
 
+// parseColumns splits a '|'-separated query line into column keyword sets.
+func parseColumns(line string) []string {
+	var cols []string
+	for _, c := range strings.Split(line, "|") {
+		if c = strings.TrimSpace(c); c != "" {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// runBatch answers every query in the file as one AnswerBatch and prints
+// per-query summaries plus the aggregate stage split and throughput.
+func runBatch(eng *wwt.Engine, path string, workers int) {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		if f, err = os.Open(path); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	var queries []wwt.Query
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024) // wide queries exceed the 64KB default
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		queries = append(queries, wwt.Query{Columns: parseColumns(line)})
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(queries) == 0 {
+		fatal(fmt.Errorf("no queries in %s", path))
+	}
+
+	br := eng.AnswerBatch(queries, workers)
+	fmt.Printf("%-50s %10s %8s %7s %9s\n", "query", "candidates", "relevant", "rows", "total(ms)")
+	for i, res := range br.Results {
+		name := clip(lines[i], 50)
+		if err := br.Errs[i]; err != nil {
+			fmt.Printf("%-50s error: %v\n", name, err)
+			continue
+		}
+		relevant := 0
+		for ti := range res.Tables {
+			if res.Labeling.Relevant(ti) {
+				relevant++
+			}
+		}
+		fmt.Printf("%-50s %10d %8d %7d %9.2f\n", name,
+			len(res.Tables), relevant, len(res.Answer.Rows),
+			float64(res.Timings.Total().Microseconds())/1000)
+		res.Release()
+	}
+	t := br.Timings
+	fmt.Printf("\nbatch: %d queries (%d failed) on %d workers in %.1fms — %.1f queries/s\n",
+		t.Queries, t.Failed, t.Workers, float64(t.Wall.Microseconds())/1000, t.QPS())
+	fmt.Printf("stage totals: probe %.1fms, read %.1fms, column-map %.1fms, infer %.1fms, consolidate %.1fms (parallelism %.1fx)\n",
+		float64((t.Stages.Probe1+t.Stages.Probe2).Microseconds())/1000,
+		float64((t.Stages.Read1+t.Stages.Read2).Microseconds())/1000,
+		float64(t.Stages.ColumnMap.Microseconds())/1000,
+		float64(t.Stages.Infer.Microseconds())/1000,
+		float64(t.Stages.Consolidate.Microseconds())/1000,
+		float64(t.Stages.Total())/float64(t.Wall))
+}
+
+// clip truncates s to at most n runes (not bytes, so multi-byte cells
+// never split mid-rune), marking the cut with an ellipsis.
+func clip(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
+}
+
 func printRow(cells []string, last string) {
 	for _, c := range cells {
-		if len(c) > 22 {
-			c = c[:21] + "…"
-		}
-		fmt.Printf("%-24s", c)
+		fmt.Printf("%-24s", clip(c, 22))
 	}
 	fmt.Printf("%8s\n", last)
 }

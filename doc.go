@@ -1,0 +1,56 @@
+// Package wwt is the public API of this reproduction of "Answering Table
+// Queries on the Web using Column Keywords" (Pimplikar & Sarawagi, VLDB
+// 2012). It wires the full WWT pipeline of Fig. 2: a boosted multi-field
+// index over extracted web tables, the two-stage index probe of §2.2.1,
+// the graphical-model column mapper of §3 with the inference algorithms of
+// §4, and the consolidator/ranker of §2.2.3.
+//
+// # Pipeline
+//
+// The query path is an explicit staged pipeline —
+//
+//	Probe1 → Read1 → Probe2 → Read2 → ColumnMap → Infer → Consolidate
+//
+// (see pipeline.go) — where every stage is a named method fed by a pooled
+// per-query scratch arena (QueryScratch), so the flat buffers behind
+// probing, model building, inference and consolidation are reused across
+// queries instead of reallocated. Candidates runs the probe prefix of the
+// same list; Answer runs the whole list.
+//
+// # Ownership and concurrency
+//
+// An Engine is immutable after construction and safe for concurrent use:
+// any number of goroutines may call Answer, AnswerBatch, Candidates,
+// CandidatesBatch and MapColumns on one engine. The cross-query caches
+// (table views, pair similarities, PMI doc sets, normalized cells) are
+// concurrency-safe and hand out shared read-only slices.
+//
+// Exactly one query owns a scratch arena at a time. Candidates returns
+// its arena to the pool on exit; Answer hands it to the Result — whose
+// Model aliases the arena's grids — and only Result.Release recycles it.
+// Everything else a query returns (answer rows, labeling, tables) owns
+// its storage and survives Release, so an unreleased arena is merely
+// garbage, never a corruption hazard.
+//
+// # Batched execution
+//
+// AnswerBatch and CandidatesBatch run many queries through the same stage
+// list on a bounded worker pool. Each worker holds one pooled arena at a
+// time, all workers share the engine's warm caches, and every member's
+// output is bit-identical to a solo call. Members are error-isolated: one
+// failing query fills only its own error slot. BatchTimings aggregates
+// the per-stage split and wall clock; serving loops and the evaluation
+// harness (internal/eval) are built on these entry points.
+//
+// # Typical use
+//
+//	tables := extract.Page(url, html, extract.NewOptions())   // offline
+//	eng, err := wwt.NewEngine(tables, nil)                    // index + store
+//	res, err := eng.Answer(wwt.Query{Columns: []string{
+//	    "name of explorers", "nationality", "areas explored"}})
+//	for _, row := range res.Answer.Rows { ... }
+//	res.Release() // optional: recycle the per-query arena
+//
+// See the runnable examples in example_test.go and the README for the
+// architecture diagram and cache contracts.
+package wwt

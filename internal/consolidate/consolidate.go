@@ -1,8 +1,3 @@
-// Package consolidate implements the final stage of Fig. 2: merging the
-// relevant columns and rows of mapped web tables into a single q-column
-// answer table, resolving duplicate rows across sources (after [9], soft
-// key matching on the first query column), and ranking rows so that highly
-// supported, high-confidence rows surface first.
 package consolidate
 
 import (

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"container/list"
-	"sync"
-
 	"wwt/internal/graph"
+	"wwt/internal/lru"
 )
 
 // colPairSim is one cross-view column pair whose content similarity
@@ -95,20 +93,10 @@ func computePairSims(a, b *TableView, p Params) []colPairSim {
 // hit-for-hit to what the uncached path computes. Cached slices are shared
 // and read-only.
 type PairSimCache struct {
-	mu  sync.Mutex
-	cap int
-	lru *list.List // front = most recent; values are *pairSimEntry
-	m   map[pairSimKey]*list.Element
-
-	hits, misses uint64
+	c *lru.Cache[pairSimKey, []colPairSim]
 }
 
 type pairSimKey struct{ a, b uint64 }
-
-type pairSimEntry struct {
-	key   pairSimKey
-	pairs []colPairSim
-}
 
 // DefaultPairSimCacheSize bounds the cache when NewPairSimCache is given a
 // non-positive capacity. At the default probe width (~40 candidates, ~800
@@ -120,58 +108,21 @@ func NewPairSimCache(capacity int) *PairSimCache {
 	if capacity <= 0 {
 		capacity = DefaultPairSimCacheSize
 	}
-	return &PairSimCache{
-		cap: capacity,
-		lru: list.New(),
-		// No capacity hint: the map grows with actual use, so short-lived
-		// caches don't pay for the full bound up front.
-		m: make(map[pairSimKey]*list.Element),
-	}
+	return &PairSimCache{c: lru.New[pairSimKey, []colPairSim](capacity)}
 }
 
 // pairs returns computePairSims(a, b, p), memoized on the (a, b) view-ID
-// pair.
+// pair. The Jaccard grid and the assignment solve run outside the cache
+// lock (computePairSims is a pure function of (a, b, p), so racing
+// duplicate computes are harmless).
 func (c *PairSimCache) pairs(a, b *TableView, p Params) []colPairSim {
-	key := pairSimKey{a.id, b.id}
-	c.mu.Lock()
-	if el, ok := c.m[key]; ok {
-		c.lru.MoveToFront(el)
-		ps := el.Value.(*pairSimEntry).pairs
-		c.hits++
-		c.mu.Unlock()
-		return ps
-	}
-	c.misses++
-	c.mu.Unlock()
-
-	// Compute outside the lock: the Jaccard grid and the assignment solve
-	// are the expensive part, and computePairSims is a pure function of
-	// (a, b, p), so a racing duplicate insert holds an identical value.
-	ps := computePairSims(a, b, p)
-
-	c.mu.Lock()
-	if _, ok := c.m[key]; !ok {
-		c.m[key] = c.lru.PushFront(&pairSimEntry{key: key, pairs: ps})
-		if c.lru.Len() > c.cap {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.m, oldest.Value.(*pairSimEntry).key)
-		}
-	}
-	c.mu.Unlock()
-	return ps
+	return c.c.Get(pairSimKey{a.id, b.id}, func() []colPairSim {
+		return computePairSims(a, b, p)
+	})
 }
 
 // Stats reports cumulative hit/miss counts.
-func (c *PairSimCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
+func (c *PairSimCache) Stats() (hits, misses uint64) { return c.c.Stats() }
 
 // Len returns the number of cached view pairs.
-func (c *PairSimCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
-}
+func (c *PairSimCache) Len() int { return c.c.Len() }

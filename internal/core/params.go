@@ -1,12 +1,3 @@
-// Package core implements the paper's primary contribution: the column
-// mapping task expressed as a graphical model (§3). It provides the
-// two-part segmented similarity SegSim (Eq. 1) and its coverage variant
-// Cover (§3.2.2), the corpus-wide PMI² feature (§3.2.3), the table
-// relevance feature R(Q,t) (Eq. 2), node potentials (Eq. 3), the
-// robustified content-overlap edge potentials (Eq. 4) with normalized
-// similarity, confidence gating and max-matching edge selection, and the
-// four table-level hard constraints (Eq. 5–8). The inference package
-// consumes the assembled Model.
 package core
 
 // Params collects every tunable of the column mapper. The six weights

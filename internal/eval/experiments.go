@@ -86,17 +86,23 @@ func ExperimentProbe2(w io.Writer, r *Runner) {
 	opts := r.Engine.Opts
 	opts.SecondProbe = false
 	single := wwt.NewEngineFrom(r.Engine.Index, r.Engine.Store, &opts)
+	// One batched first-stage-only sweep over the probe2 queries.
+	var probe2 []*QueryResult
+	var wqs []wwt.Query
 	for _, res := range results {
-		if !res.UsedProbe2 {
+		if res.UsedProbe2 {
+			probe2 = append(probe2, res)
+			wqs = append(wqs, wwt.Query{Columns: res.Query.Columns})
+			used++
+		}
+	}
+	sets, errs, _ := single.CandidatesBatch(wqs, r.batchWorkers())
+	for i, res := range probe2 {
+		if errs[i] != nil {
 			continue
 		}
-		used++
-		stage1, _, err := single.Candidates(wwt.Query{Columns: res.Query.Columns}, nil)
-		if err != nil {
-			continue
-		}
-		inStage1 := make(map[string]bool, len(stage1))
-		for _, tb := range stage1 {
+		inStage1 := make(map[string]bool, len(sets[i].Tables))
+		for _, tb := range sets[i].Tables {
 			inStage1[tb.ID] = true
 			tot1++
 			if res.GT.Relevant[tb.ID] {

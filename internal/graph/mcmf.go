@@ -1,9 +1,3 @@
-// Package graph implements the combinatorial machinery behind WWT's
-// inference algorithms: a min-cost max-flow solver (successive shortest
-// paths with Bellman-Ford, §4.2.2), the generalized maximum-weight
-// bipartite matching reduction of §4.2.1 with residual-graph max-marginal
-// queries (§4.2.3, Fig. 3), a Dinic max-flow/min-cut solver for expansion
-// moves, and the constrained minimum s-t cut of Fig. 4.
 package graph
 
 import (

@@ -1,0 +1,26 @@
+// Package index is the repo's Lucene substitute (§2.1): every extracted web
+// table is indexed as a document with three analyzed text fields — header,
+// context and content — carrying relative boosts 2, 1.5 and 1. It supports
+// the union-of-keywords probes used by WWT's two-stage retrieval, exposes
+// corpus statistics (IDF) to the feature code, and serves the sorted
+// document sets that the PMI² feature intersects. Indexes and table stores
+// persist to disk with encoding/gob.
+//
+// # Ownership and concurrency contracts
+//
+// Index is the mutable, map-based build-time structure and the reference
+// scorer; it must not be mutated once a Searcher has been frozen from it.
+// Searcher is the query-time form: a frozen CSR layout with precomputed
+// (1+ln tf)·boost/√len weights, a pooled dense accumulator with
+// generation-tagged reset, bounded top-k heap selection and a max-score
+// admission skip. A Searcher is immutable and safe for concurrent Search
+// calls; TestSearcherEquivalence pins it hit-for-hit identical to
+// Index.Search (both accumulate in lexicographic term order, so float64
+// sums stay bit-identical) — keep that invariant when touching either
+// side.
+//
+// DocSetCache is a concurrency-safe LRU over Searcher.DocSet, keyed by
+// the canonicalized token set plus field mask. Cached doc-set slices are
+// shared and read-only: callers only intersect them, never mutate.
+// Store is append-only at build time and read-only afterwards.
+package index

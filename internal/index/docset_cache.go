@@ -1,10 +1,10 @@
 package index
 
 import (
-	"container/list"
 	"sort"
 	"strings"
-	"sync"
+
+	"wwt/internal/lru"
 )
 
 // DocSetCache is a bounded, concurrency-safe LRU cache in front of
@@ -16,18 +16,7 @@ import (
 // intersects them).
 type DocSetCache struct {
 	src *Searcher
-
-	mu  sync.Mutex
-	cap int
-	lru *list.List // front = most recent; values are *docSetEntry
-	m   map[string]*list.Element
-
-	hits, misses uint64
-}
-
-type docSetEntry struct {
-	key string
-	set []int32
+	c   *lru.Cache[string, []int32]
 }
 
 // DefaultDocSetCacheSize bounds the cache when NewDocSetCache is given a
@@ -39,60 +28,23 @@ func NewDocSetCache(src *Searcher, capacity int) *DocSetCache {
 	if capacity <= 0 {
 		capacity = DefaultDocSetCacheSize
 	}
-	return &DocSetCache{
-		src: src,
-		cap: capacity,
-		lru: list.New(),
-		m:   make(map[string]*list.Element, capacity),
-	}
+	return &DocSetCache{src: src, c: lru.New[string, []int32](capacity)}
 }
 
 // DocSet returns Searcher.DocSet(tokens, fields...), memoized on the
-// deduplicated sorted token set plus the field mask.
+// deduplicated sorted token set plus the field mask. The intersection runs
+// outside the cache lock (it can be expensive; DocSet is a pure function
+// of the key, so racing duplicate computes are harmless).
 func (c *DocSetCache) DocSet(tokens []string, fields ...Field) []int32 {
 	key := docSetKey(tokens, fields)
-	c.mu.Lock()
-	if el, ok := c.m[key]; ok {
-		c.lru.MoveToFront(el)
-		set := el.Value.(*docSetEntry).set
-		c.hits++
-		c.mu.Unlock()
-		return set
-	}
-	c.misses++
-	c.mu.Unlock()
-
-	// Compute outside the lock: intersections can be expensive and this
-	// keeps concurrent misses from serializing. A racing duplicate insert
-	// is harmless (same value; LRU keeps one entry per key).
-	set := c.src.DocSet(tokens, fields...)
-
-	c.mu.Lock()
-	if _, ok := c.m[key]; !ok {
-		c.m[key] = c.lru.PushFront(&docSetEntry{key: key, set: set})
-		if c.lru.Len() > c.cap {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.m, oldest.Value.(*docSetEntry).key)
-		}
-	}
-	c.mu.Unlock()
-	return set
+	return c.c.Get(key, func() []int32 { return c.src.DocSet(tokens, fields...) })
 }
 
 // Stats reports cumulative hit/miss counts.
-func (c *DocSetCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
+func (c *DocSetCache) Stats() (hits, misses uint64) { return c.c.Stats() }
 
 // Len returns the number of cached entries.
-func (c *DocSetCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
-}
+func (c *DocSetCache) Len() int { return c.c.Len() }
 
 // docSetKey canonicalizes (tokens, fields) into a cache key: unique tokens
 // sorted and joined with an unlikely separator, prefixed by the field mask.

@@ -1,10 +1,3 @@
-// Package index is the repo's Lucene substitute (§2.1): every extracted web
-// table is indexed as a document with three analyzed text fields — header,
-// context and content — carrying relative boosts 2, 1.5 and 1. It supports
-// the union-of-keywords probes used by WWT's two-stage retrieval, exposes
-// corpus statistics (IDF) to the feature code, and serves the sorted
-// document sets that the PMI² feature intersects. Indexes and table stores
-// persist to disk with encoding/gob.
 package index
 
 import (

@@ -1,0 +1,26 @@
+// Package inference solves the column-mapping MAP problem (Eq. 9), which
+// is NP-hard, with the paper's algorithms (§4):
+//
+//   - Independent: exact per-table inference via generalized maximum-weight
+//     bipartite matching (§4.1); no cross-table edges.
+//   - TableCentric: the paper's best collective method (§4.2) — table-local
+//     max-marginals, softmax distributions, one round of neighbor messages,
+//     re-solve with boosted node potentials.
+//   - AlphaExpansion: edge-centric graph-cut inference (§4.3) with the
+//     mutex constraint enforced through the constrained minimum s-t cut of
+//     Fig. 4 and must/min-match repaired in post-processing.
+//   - BP: loopy max-product belief propagation with mutex and all-Irr
+//     reduced to (dissociative) pairwise potentials.
+//   - TRWS: sequential tree-reweighted message passing on the same model.
+//
+// # Ownership and concurrency contracts
+//
+// Solve reads the Model but never mutates it, so any number of goroutines
+// may Solve the same model concurrently — the evaluation harness runs all
+// five algorithms on one build. SolveScratch runs the same algorithms out
+// of a caller-owned Scratch arena (message grids, per-table §4.1 solver
+// state, the pairwise-MRF storage): one solve owns the arena at a time,
+// and the returned Labeling owns its storage, surviving any later reuse
+// of the arena. All algorithms are deterministic: identical models yield
+// bit-identical labelings.
+package inference

@@ -1,17 +1,3 @@
-// Package inference solves the column-mapping MAP problem (Eq. 9), which
-// is NP-hard, with the paper's algorithms (§4):
-//
-//   - Independent: exact per-table inference via generalized maximum-weight
-//     bipartite matching (§4.1); no cross-table edges.
-//   - TableCentric: the paper's best collective method (§4.2) — table-local
-//     max-marginals, softmax distributions, one round of neighbor messages,
-//     re-solve with boosted node potentials.
-//   - AlphaExpansion: edge-centric graph-cut inference (§4.3) with the
-//     mutex constraint enforced through the constrained minimum s-t cut of
-//     Fig. 4 and must/min-match repaired in post-processing.
-//   - BP: loopy max-product belief propagation with mutex and all-Irr
-//     reduced to (dissociative) pairwise potentials.
-//   - TRWS: sequential tree-reweighted message passing on the same model.
 package inference
 
 import (

@@ -1,0 +1,61 @@
+package lru
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetComputesOncePerKey(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	get := func(k string) int {
+		return c.Get(k, func() int { calls++; return len(k) })
+	}
+	if got := get("ab"); got != 2 {
+		t.Fatalf("Get = %d, want 2", got)
+	}
+	if got := get("ab"); got != 2 || calls != 1 {
+		t.Fatalf("warm Get = %d with %d computes, want 2 with 1", got, calls)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 1 hit / 1 miss", hits, misses)
+	}
+}
+
+func TestEvictionKeepsBoundAndRecency(t *testing.T) {
+	c := New[int, int](2)
+	for _, k := range []int{1, 2, 1, 3} { // 2 is the LRU when 3 arrives
+		c.Get(k, func() int { return -k })
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	recomputed := false
+	if v := c.Get(1, func() int { recomputed = true; return -1 }); v != -1 || recomputed {
+		t.Errorf("key 1 evicted despite being recently used")
+	}
+	c.Get(2, func() int { recomputed = true; return -2 })
+	if !recomputed {
+		t.Errorf("key 2 not evicted")
+	}
+}
+
+func TestConcurrentGet(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % 32
+				if v := c.Get(k, func() int { return k * k }); v != k*k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

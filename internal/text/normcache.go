@@ -1,0 +1,39 @@
+package text
+
+import "wwt/internal/lru"
+
+// NormCache is a bounded, concurrency-safe LRU memoization of Normalize.
+// The second index probe re-normalizes sampled body cells on every query,
+// and cell values repeat heavily within and across queries (the same
+// tables keep being sampled), so the tokenize + stopword + stem chain —
+// the dominant steady-state allocator once the arenas are pooled — is paid
+// once per distinct cell string. Cached token slices are shared: callers
+// must treat them as read-only (every in-repo consumer only appends copies
+// into its own buffer).
+type NormCache struct {
+	c *lru.Cache[string, []string]
+}
+
+// DefaultNormCacheSize bounds the cache when NewNormCache is given a
+// non-positive capacity.
+const DefaultNormCacheSize = 32768
+
+// NewNormCache returns an LRU of at most capacity distinct strings.
+func NewNormCache(capacity int) *NormCache {
+	if capacity <= 0 {
+		capacity = DefaultNormCacheSize
+	}
+	return &NormCache{c: lru.New[string, []string](capacity)}
+}
+
+// Normalize returns Normalize(s), memoized on the raw string. A warm hit
+// allocates nothing; the returned slice is shared and read-only.
+func (c *NormCache) Normalize(s string) []string {
+	return c.c.Get(s, func() []string { return Normalize(s) })
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *NormCache) Stats() (hits, misses uint64) { return c.c.Stats() }
+
+// Len returns the number of cached entries.
+func (c *NormCache) Len() int { return c.c.Len() }

@@ -1,0 +1,52 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNormCacheMatchesNormalize pins cached results to plain Normalize and
+// checks LRU eviction bookkeeping.
+func TestNormCacheMatchesNormalize(t *testing.T) {
+	c := NewNormCache(4)
+	inputs := []string{"Indian rupee", "the pound sterling", "2236", "", "Indian rupee"}
+	for _, s := range inputs {
+		if got, want := c.Normalize(s), Normalize(s); !reflect.DeepEqual(got, want) {
+			t.Errorf("Normalize(%q) = %v, want %v", s, got, want)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 4 {
+		t.Errorf("stats = %d hits / %d misses, want 1/4", hits, misses)
+	}
+	// Overflow the capacity: oldest entries evict, size stays bounded.
+	for _, s := range []string{"a1", "b2", "c3", "d4", "e5"} {
+		c.Normalize(s)
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want capacity 4", c.Len())
+	}
+}
+
+// TestNormCacheWarmZeroAlloc guards the point of the cache: a warm hit —
+// the second-probe steady state, where sampled cell values repeat across
+// queries — must not allocate. Alongside the warm-pool guards in the root
+// package, this keeps text.Normalize from re-emerging as the dominant
+// steady-state allocator.
+func TestNormCacheWarmZeroAlloc(t *testing.T) {
+	c := NewNormCache(0)
+	cells := []string{"France", "Euro", "Indian rupee", "Pound sterling", "2236"}
+	for _, s := range cells {
+		c.Normalize(s)
+	}
+	buf := make([]string, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = buf[:0]
+		for _, s := range cells {
+			buf = append(buf, c.Normalize(s)...)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm NormCache hit allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -207,7 +207,7 @@ func (e *Engine) stageProbe2(st *queryState, s *QueryScratch) (bool, error) {
 		}
 		for _, r := range sampleRows(rng, tb.NumBodyRows(), take) {
 			for c := 0; c < tb.NumCols(); c++ {
-				sample = append(sample, text.Normalize(tb.Body(r, c))...)
+				sample = append(sample, e.normalizeCell(tb.Body(r, c))...)
 			}
 		}
 	}
@@ -215,6 +215,19 @@ func (e *Engine) stageProbe2(st *queryState, s *QueryScratch) (bool, error) {
 	st.hits2 = e.search(sample, e.Opts.ProbeK)
 	st.probe2Fired = true
 	return true, nil
+}
+
+// normalizeCell analyzes one sampled body cell through the engine's
+// normalization cache: cell values repeat heavily across queries, so the
+// tokenize/stem chain runs once per distinct string. The returned tokens
+// are the cache's backing slice — read-only; callers append copies. Falls
+// back to plain Normalize on zero-value engines built without
+// NewEngine/NewEngineFrom.
+func (e *Engine) normalizeCell(s string) []string {
+	if e.norm != nil {
+		return e.norm.Normalize(s)
+	}
+	return text.Normalize(s)
 }
 
 // stageRead2 merges the second-probe tables into the candidate list,

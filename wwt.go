@@ -1,29 +1,3 @@
-// Package wwt is the public API of this reproduction of "Answering Table
-// Queries on the Web using Column Keywords" (Pimplikar & Sarawagi, VLDB
-// 2012). It wires the full WWT pipeline of Fig. 2: a boosted multi-field
-// index over extracted web tables, the two-stage index probe of §2.2.1,
-// the graphical-model column mapper of §3 with the inference algorithms of
-// §4, and the consolidator/ranker of §2.2.3.
-//
-// The query path is an explicit staged pipeline —
-//
-//	Probe1 → Read1 → Probe2 → Read2 → ColumnMap → Infer → Consolidate
-//
-// (see pipeline.go) — where every stage is a named method fed by a pooled
-// per-query scratch arena (QueryScratch), so the flat buffers behind
-// probing, model building, inference and consolidation are reused across
-// queries instead of reallocated. Result.Release returns a query's arena
-// to the engine's pool; serving loops that call it answer queries with
-// near-zero steady-state allocation.
-//
-// Typical use:
-//
-//	tables := extract.Page(url, html, extract.NewOptions())   // offline
-//	eng, err := wwt.NewEngine(tables, nil)                    // index + store
-//	res, err := eng.Answer(wwt.Query{Columns: []string{
-//	    "name of explorers", "nationality", "areas explored"}})
-//	for _, row := range res.Answer.Rows { ... }
-//	res.Release() // optional: recycle the per-query arena
 package wwt
 
 import (
@@ -36,6 +10,7 @@ import (
 	"wwt/internal/core"
 	"wwt/internal/index"
 	"wwt/internal/inference"
+	"wwt/internal/text"
 	"wwt/internal/wtable"
 )
 
@@ -146,6 +121,7 @@ type Engine struct {
 	docsets  *index.DocSetCache
 	views    *core.ViewCache
 	pairs    *core.PairSimCache
+	norm     *text.NormCache
 	scratch  sync.Pool // *QueryScratch
 }
 
@@ -186,6 +162,7 @@ func NewEngineFrom(ix *index.Index, st *index.Store, opts *Options) *Engine {
 		docsets:  index.NewDocSetCache(s, 0),
 		views:    core.NewViewCache(),
 		pairs:    core.NewPairSimCache(0),
+		norm:     text.NewNormCache(0),
 	}
 }
 

@@ -188,8 +188,10 @@ func TestAnswerScratchPoolConcurrent(t *testing.T) {
 // + Release cycle must stay under a fixed allocation ceiling, so later
 // changes can't silently reintroduce per-query grid churn. The ceiling is
 // loose (inherent per-query allocations: result payload, hits, labeling,
-// token normalization) but far below the thousands of allocations the
-// unpooled build used to make.
+// query-token normalization) but far below the thousands of allocations
+// the unpooled build used to make. Second-probe cell normalization is
+// served by the engine's NormCache (see TestNormCacheWarmZeroAlloc for
+// the cache-level guard); the ceiling here assumes those hits stay free.
 func TestAnswerWarmPoolAllocs(t *testing.T) {
 	eng, err := wwt.NewEngine(smallCorpus(t), nil)
 	if err != nil {
@@ -211,7 +213,7 @@ func TestAnswerWarmPoolAllocs(t *testing.T) {
 		}
 		res.Release()
 	})
-	const ceiling = 400
+	const ceiling = 280 // measured ~189 warm with the norm cache
 	if allocs > ceiling {
 		t.Errorf("warm-pool Answer allocates %.0f/op, ceiling %d", allocs, ceiling)
 	}
