@@ -10,6 +10,8 @@ package wwt
 // member is isolated to its own slot; the rest of the batch completes.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,24 +37,34 @@ type BatchTimings struct {
 	Failed int
 }
 
-// QPS returns the realized batch throughput in queries per second.
+// Succeeded returns the number of members that produced a result.
+func (t BatchTimings) Succeeded() int { return t.Queries - t.Failed }
+
+// QPS returns the realized batch throughput in successfully answered
+// queries per second. Failed members are excluded — a batch of
+// fast-failing queries would otherwise report inflated throughput; use
+// TotalQPS for the all-members rate.
 func (t BatchTimings) QPS() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Succeeded()) / t.Wall.Seconds()
+}
+
+// TotalQPS returns the batch throughput counting every member, successful
+// or failed.
+func (t BatchTimings) TotalQPS() float64 {
 	if t.Wall <= 0 {
 		return 0
 	}
 	return float64(t.Queries) / t.Wall.Seconds()
 }
 
-// add accumulates one member query's stage split.
-func (t *BatchTimings) add(q Timings) {
-	t.Stages.Probe1 += q.Probe1
-	t.Stages.Read1 += q.Read1
-	t.Stages.Probe2 += q.Probe2
-	t.Stages.Read2 += q.Read2
-	t.Stages.ColumnMap += q.ColumnMap
-	t.Stages.Infer += q.Infer
-	t.Stages.Consolidate += q.Consolidate
-}
+// ErrPanic marks a batch member error produced by recovering a panicking
+// member (errors.Is(err, ErrPanic)). It distinguishes server-side faults
+// from ordinary query errors — the serving layer maps it to 500 instead
+// of 400.
+var ErrPanic = errors.New("panicked")
 
 // BatchResult holds a batch's per-query outcomes, index-aligned with the
 // queries passed to AnswerBatch: Results[i] is nil exactly when Errs[i] is
@@ -168,6 +180,23 @@ func (e *Engine) forEachQuery(n, workers int, fn func(i int, s *QueryScratch) (r
 // BatchResult.Timings aggregates the batch; per-query splits stay on each
 // Result.Timings.
 func (e *Engine) AnswerBatch(queries []Query, workers int) *BatchResult {
+	return e.AnswerBatchCtx(context.Background(), queries, workers, 0)
+}
+
+// AnswerBatchCtx is AnswerBatch under a context with an optional
+// per-member deadline. ctx bounds the whole batch: once it is canceled or
+// past its deadline, every not-yet-finished member aborts between stages
+// with ctx.Err() in its own error slot. perQuery > 0 additionally gives
+// each member its own deadline of that much time, measured from when a
+// worker picks the member up — a slow member times out alone with
+// context.DeadlineExceeded in its slot while the rest of the batch runs
+// to completion, bit-identical to solo answers.
+//
+// An aborted member's arena returns to the engine pool like any other
+// failed member's (stages are never interrupted mid-flight, so the arena
+// is reusable, not poisoned). Cancellation latency is bounded by the
+// longest single stage.
+func (e *Engine) AnswerBatchCtx(ctx context.Context, queries []Query, workers int, perQuery time.Duration) *BatchResult {
 	start := time.Now()
 	br := &BatchResult{
 		Results: make([]*Result, len(queries)),
@@ -175,7 +204,18 @@ func (e *Engine) AnswerBatch(queries []Query, workers int) *BatchResult {
 	}
 	br.Timings.Queries = len(queries)
 	br.Timings.Workers = e.forEachQuery(len(queries), workers, func(i int, s *QueryScratch) bool {
-		res, err := e.answer(queries[i], s)
+		// The deadline context lives in its own frame so the deferred
+		// cancel releases the timer even when the member panics (the
+		// recover sits in forEachQuery, above this frame).
+		res, err := func() (*Result, error) {
+			qctx := ctx
+			if perQuery > 0 {
+				var cancel context.CancelFunc
+				qctx, cancel = context.WithTimeout(ctx, perQuery)
+				defer cancel()
+			}
+			return e.answer(qctx, queries[i], s)
+		}()
 		if err != nil {
 			br.Errs[i] = err
 			return false
@@ -183,14 +223,14 @@ func (e *Engine) AnswerBatch(queries []Query, workers int) *BatchResult {
 		br.Results[i] = res
 		return true
 	}, func(i int, v any) {
-		br.Errs[i] = fmt.Errorf("wwt: batch member %d panicked: %v", i, v)
+		br.Errs[i] = fmt.Errorf("wwt: batch member %d %w: %v", i, ErrPanic, v)
 	})
 	for i, r := range br.Results {
 		if br.Errs[i] != nil {
 			br.Timings.Failed++
 			continue
 		}
-		br.Timings.add(r.Timings)
+		br.Timings.Stages.Add(r.Timings)
 	}
 	br.Timings.Wall = time.Since(start)
 	return br
@@ -210,7 +250,7 @@ func (e *Engine) CandidatesBatch(queries []Query, workers int) (sets []Candidate
 	bt.Queries = len(queries)
 	bt.Workers = e.forEachQuery(len(queries), workers, func(i int, s *QueryScratch) bool {
 		st := &queryState{query: queries[i]}
-		if err := e.runStages(probePipeline, st, s, &sets[i].Timings); err != nil {
+		if err := e.runStages(nil, probePipeline, st, s, &sets[i].Timings); err != nil {
 			errs[i] = err
 			return false
 		}
@@ -218,14 +258,14 @@ func (e *Engine) CandidatesBatch(queries []Query, workers int) (sets []Candidate
 		sets[i].UsedProbe2 = st.probe2Fired
 		return false
 	}, func(i int, v any) {
-		errs[i] = fmt.Errorf("wwt: batch member %d panicked: %v", i, v)
+		errs[i] = fmt.Errorf("wwt: batch member %d %w: %v", i, ErrPanic, v)
 	})
 	for i := range sets {
 		if errs[i] != nil {
 			bt.Failed++
 			continue
 		}
-		bt.add(sets[i].Timings)
+		bt.Stages.Add(sets[i].Timings)
 	}
 	bt.Wall = time.Since(start)
 	return sets, errs, bt

@@ -6,10 +6,13 @@ package wwt_test
 // member must be isolated to its own slot.
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"wwt"
 	"wwt/internal/corpusgen"
@@ -89,6 +92,55 @@ func TestAnswerBatchEquivalence(t *testing.T) {
 			}
 			br.Release()
 			br.Release() // idempotent
+
+			// The ctx entry point with a generous per-member deadline must
+			// stay bit-identical too (deadline plumbing perturbs nothing).
+			// Run it for the paper-default algorithm to bound test cost.
+			if alg == inference.TableCentric {
+				dbr := eng.AnswerBatchCtx(context.Background(), wqs, 4, time.Hour)
+				for i := range wqs {
+					if (dbr.Errs[i] == nil) != (refErrs[i] == nil) {
+						t.Fatalf("deadline batch member %d: err %v, solo err %v", i, dbr.Errs[i], refErrs[i])
+					}
+					if dbr.Errs[i] != nil {
+						continue
+					}
+					if !reflect.DeepEqual(dbr.Results[i].Labeling.Y, refs[i].Labeling.Y) ||
+						!reflect.DeepEqual(dbr.Results[i].Answer, refs[i].Answer) {
+						t.Fatalf("deadline batch member %d diverged from solo", i)
+					}
+				}
+				dbr.Release()
+			}
+
+			// A pre-canceled parent context fails every member with ctx.Err()
+			// in its own slot — and leaves the arena pool healthy: the next
+			// solo answer still matches its reference.
+			cctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			cbr := eng.AnswerBatchCtx(cctx, wqs, 4, 0)
+			for i := range wqs {
+				if !errors.Is(cbr.Errs[i], context.Canceled) {
+					t.Fatalf("canceled batch member %d: err = %v, want context.Canceled", i, cbr.Errs[i])
+				}
+				if cbr.Results[i] != nil {
+					t.Fatalf("canceled batch member %d: non-nil result", i)
+				}
+			}
+			if cbr.Timings.Failed != len(wqs) || cbr.Timings.QPS() != 0 {
+				t.Fatalf("canceled batch: Failed = %d, QPS = %v, want all failed at 0 QPS",
+					cbr.Timings.Failed, cbr.Timings.QPS())
+			}
+			if refErrs[0] == nil {
+				again, err := eng.Answer(wqs[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(again.Answer, refs[0].Answer) {
+					t.Fatal("post-cancel solo answer diverged: arena pool poisoned")
+				}
+				again.Release()
+			}
 		})
 	}
 }
@@ -229,6 +281,17 @@ func TestAnswerBatchPanicIsolation(t *testing.T) {
 	}
 	if br.Timings.Failed != len(queries) {
 		t.Errorf("Failed = %d, want %d", br.Timings.Failed, len(queries))
+	}
+	// Same with a per-member deadline: the panic must not leak the
+	// member's timeout context (its cancel is deferred under the panic).
+	dbr := broken.AnswerBatchCtx(context.Background(), queries, 2, time.Hour)
+	for i := range queries {
+		if dbr.Errs[i] == nil || !strings.Contains(dbr.Errs[i].Error(), "panicked") {
+			t.Fatalf("deadline member %d: err = %v, want recovered panic", i, dbr.Errs[i])
+		}
+		if !errors.Is(dbr.Errs[i], wwt.ErrPanic) {
+			t.Fatalf("deadline member %d: err %v does not wrap wwt.ErrPanic", i, dbr.Errs[i])
+		}
 	}
 	// The healthy engine is unaffected.
 	if _, err := eng.Answer(queries[0]); err != nil {

@@ -183,8 +183,8 @@ func runBatch(eng *wwt.Engine, path string, workers int) {
 		res.Release()
 	}
 	t := br.Timings
-	fmt.Printf("\nbatch: %d queries (%d failed) on %d workers in %.1fms — %.1f queries/s\n",
-		t.Queries, t.Failed, t.Workers, float64(t.Wall.Microseconds())/1000, t.QPS())
+	fmt.Printf("\nbatch: %d queries (%d failed) on %d workers in %.1fms — %.1f answered/s (%.1f total/s)\n",
+		t.Queries, t.Failed, t.Workers, float64(t.Wall.Microseconds())/1000, t.QPS(), t.TotalQPS())
 	fmt.Printf("stage totals: probe %.1fms, read %.1fms, column-map %.1fms, infer %.1fms, consolidate %.1fms (parallelism %.1fx)\n",
 		float64((t.Stages.Probe1+t.Stages.Probe2).Microseconds())/1000,
 		float64((t.Stages.Read1+t.Stages.Read2).Microseconds())/1000,

@@ -42,6 +42,17 @@
 // the per-stage split and wall clock; serving loops and the evaluation
 // harness (internal/eval) are built on these entry points.
 //
+// # Deadlines and cancellation
+//
+// AnswerCtx and AnswerBatchCtx run the same pipeline under a context:
+// cancellation is checked between stages, an expired or canceled query
+// returns ctx.Err() (in its own batch slot, leaving the other members
+// untouched), and the aborted query's arena goes back to the pool clean.
+// AnswerBatchCtx additionally gives every member its own deadline. The
+// serving daemon (internal/serve, cmd/wwt-serve) builds its per-query
+// latency budgets, admission control and /metrics on these entry points
+// plus Engine.CacheStats.
+//
 // # Typical use
 //
 //	tables := extract.Page(url, html, extract.NewOptions())   // offline

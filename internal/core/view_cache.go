@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"wwt/internal/wtable"
 )
@@ -28,6 +29,8 @@ type ViewCache struct {
 
 	mu sync.RWMutex
 	m  map[*wtable.Table]*TableView
+
+	hits, misses atomic.Uint64
 }
 
 // NewViewCache returns an empty cache with its own interner.
@@ -38,6 +41,12 @@ func NewViewCache() *ViewCache {
 // Interner exposes the cache's shared symbol table (e.g. to build an
 // ad-hoc view comparable against cached ones).
 func (vc *ViewCache) Interner() *Interner { return vc.in }
+
+// Stats reports cumulative hit/miss counts (a racing duplicate build
+// counts as one miss per builder that computed).
+func (vc *ViewCache) Stats() (hits, misses uint64) {
+	return vc.hits.Load(), vc.misses.Load()
+}
 
 // Len returns the number of cached views.
 func (vc *ViewCache) Len() int {
@@ -52,8 +61,10 @@ func (vc *ViewCache) view(t *wtable.Table, p Params, stats CorpusStats) *TableVi
 	v, ok := vc.m[t]
 	vc.mu.RUnlock()
 	if ok {
+		vc.hits.Add(1)
 		return v
 	}
+	vc.misses.Add(1)
 	v = NewTableView(t, p, stats, vc.in)
 	vc.mu.Lock()
 	// A racing builder may have inserted first; keep one winner so every

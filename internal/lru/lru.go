@@ -30,7 +30,15 @@ type entry[K comparable, V any] struct {
 // New returns an LRU of at most capacity entries. The map grows with
 // actual use rather than being pre-sized, so short-lived caches don't pay
 // for the full bound up front.
+//
+// capacity must be positive: New panics on capacity <= 0. A non-positive
+// bound would silently turn every insert into insert-then-evict — a
+// disabled cache with no signal — and every in-repo wrapper maps its
+// "use the default size" sentinel to a real bound before calling New.
 func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		panic("lru: non-positive capacity")
+	}
 	return &Cache[K, V]{
 		cap: capacity,
 		lru: list.New(),
@@ -59,7 +67,14 @@ func (c *Cache[K, V]) Get(key K, compute func() V) V {
 	v := compute()
 
 	c.mu.Lock()
-	if _, ok := c.m[key]; !ok {
+	if el, ok := c.m[key]; ok {
+		// A racing computer inserted first. Its entry is as recently used
+		// as a fresh insert would be (and this lookup is served from it),
+		// so refresh recency and count the hit like any other.
+		c.lru.MoveToFront(el)
+		v = el.Value.(*entry[K, V]).val
+		c.hits++
+	} else {
 		c.m[key] = c.lru.PushFront(&entry[K, V]{key: key, val: v})
 		if c.lru.Len() > c.cap {
 			oldest := c.lru.Back()

@@ -59,3 +59,49 @@ func TestConcurrentGet(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestNewRejectsNonPositiveCapacity: a non-positive bound would silently
+// disable the cache (every insert immediately evicted); New must refuse it
+// loudly instead.
+func TestNewRejectsNonPositiveCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", capacity)
+				}
+			}()
+			New[int, int](capacity)
+		}()
+	}
+}
+
+// TestRacingDuplicateInsert drives the duplicate-insert path
+// deterministically by re-entering Get from inside compute (compute runs
+// outside the cache lock, so a nested Get stands in for the racing
+// goroutine). The losing computer must be served the canonical first-won
+// value, count a hit, and refresh the entry's recency.
+func TestRacingDuplicateInsert(t *testing.T) {
+	c := New[int, int](2)
+	f := func(k int) func() int { return func() int { return -k } }
+	c.Get(2, f(2)) // [2]
+	got := c.Get(1, func() int {
+		c.Get(1, func() int { return 10 }) // the "racer" wins the insert: [1 2]
+		c.Get(2, f(2))                     // hit, demotes 1: [2 1]
+		return 99                          // the losing duplicate value
+	})
+	if got != 10 {
+		t.Fatalf("duplicate insert returned %d, want the winning value 10", got)
+	}
+	// The duplicate-insert path must have refreshed key 1 ([1 2]), so
+	// inserting 3 evicts 2, not 1.
+	c.Get(3, f(3))
+	recomputed := false
+	c.Get(1, func() int { recomputed = true; return -1 })
+	if recomputed {
+		t.Errorf("key 1 evicted: duplicate-insert path did not refresh recency")
+	}
+	if hits, misses := c.Stats(); hits != 3 || misses != 4 {
+		t.Errorf("stats = %d/%d, want 3 hits / 4 misses", hits, misses)
+	}
+}

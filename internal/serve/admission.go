@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// errOverloaded is returned by acquire when admitting the request would
+// exceed both the in-flight capacity and the wait queue; the handler maps
+// it to 429 + Retry-After.
+var errOverloaded = errors.New("serve: overloaded")
+
+// admission is the bounded in-flight semaphore behind load shedding.
+// Units are engine worker slots: a request acquires min(members, workers)
+// slots for the duration of its batch. Up to queueDepth slots' worth of
+// requests may wait for capacity; any demand beyond that is shed
+// immediately — the queue is bounded by construction, never by client
+// patience. Waiters are admitted strictly FIFO, so a wide batch at the
+// head of the queue cannot be starved by a stream of narrow requests
+// slipping past it (head-of-line blocking is the accepted cost; the
+// queue is small).
+type admission struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	inFlight    int        // slots currently executing
+	queued      int        // slots currently waiting for capacity
+	waiters     *list.List // FIFO of *int (each waiter's slot count)
+	maxInFlight int
+	queueDepth  int
+}
+
+func newAdmission(maxInFlight, queueDepth int) *admission {
+	a := &admission{maxInFlight: maxInFlight, queueDepth: queueDepth, waiters: list.New()}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// acquire claims n slots, waiting in the bounded FIFO queue when the
+// server is saturated. It returns errOverloaded when the queue is full
+// (shed load) and ctx.Err() when the caller gives up while waiting. n is
+// clamped to the capacity so one oversized request cannot become
+// unadmittable (New clamps Config.Workers the same way, so in practice n
+// already fits).
+func (a *admission) acquire(ctx context.Context, n int) error {
+	if n > a.maxInFlight {
+		n = a.maxInFlight
+	}
+	a.mu.Lock()
+	if a.waiters.Len() == 0 && a.inFlight+n <= a.maxInFlight {
+		a.inFlight += n
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queued+n > a.queueDepth {
+		a.mu.Unlock()
+		return errOverloaded
+	}
+	a.queued += n
+	el := a.waiters.PushBack(&n)
+	// Wake the waiters (they re-check and go back to sleep) when this
+	// caller abandons the wait, so it can leave the queue.
+	stop := context.AfterFunc(ctx, func() {
+		a.mu.Lock()
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	})
+	defer stop()
+	for a.waiters.Front() != el || a.inFlight+n > a.maxInFlight {
+		if err := ctx.Err(); err != nil {
+			a.queued -= n
+			a.waiters.Remove(el)
+			a.mu.Unlock()
+			// A departing head may have unblocked the next waiter.
+			a.cond.Broadcast()
+			return err
+		}
+		a.cond.Wait()
+	}
+	a.queued -= n
+	a.waiters.Remove(el)
+	a.inFlight += n
+	a.mu.Unlock()
+	// The new head may also fit in the remaining capacity.
+	a.cond.Broadcast()
+	return nil
+}
+
+// release returns n slots (the same n acquire granted, post-clamp) and
+// wakes waiters.
+func (a *admission) release(n int) {
+	if n > a.maxInFlight {
+		n = a.maxInFlight
+	}
+	a.mu.Lock()
+	a.inFlight -= n
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// snapshot reports current occupancy for /healthz and /metrics.
+func (a *admission) snapshot() (inFlight, queued, capacity int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight, a.queued, a.maxInFlight
+}

@@ -1,0 +1,49 @@
+// Package serve is the HTTP serving layer over the batched query engine:
+// the daemon surface (cmd/wwt-serve) that turns Engine.AnswerBatchCtx
+// into a latency-budgeted, load-shedding network service.
+//
+// # Endpoints
+//
+//   - POST /v1/answer — answer one query ({"columns": [...]}) or a batch
+//     ({"queries": [{"columns": [...]}, ...]}), with an optional
+//     "timeout_ms" per-query deadline. A single query returns one result
+//     object; a batch returns index-aligned per-member results where a
+//     failed member carries its error string in its own slot and the
+//     rest of the batch is unaffected.
+//   - GET /healthz — liveness: status, uptime, in-flight occupancy.
+//   - GET /metrics — Prometheus-style text: request/query counters, a
+//     live QPS window, cumulative per-stage latency, worker occupancy,
+//     and hit/miss counters for the engine's four cross-query caches
+//     (table views, pair similarities, PMI doc sets, normalized cells).
+//
+// # Deadlines
+//
+// Every member query runs under a context deadline: the request's
+// timeout_ms when given (clamped to Config.MaxTimeout), otherwise
+// Config.DefaultTimeout. The engine checks cancellation between pipeline
+// stages, so a query past its deadline aborts with
+// context.DeadlineExceeded in its own slot and abort latency is bounded
+// by the longest single stage. Client disconnects cancel the request
+// context and propagate the same way.
+//
+// # Admission control
+//
+// Admission is a bounded in-flight semaphore measured in engine worker
+// slots: a request occupies min(members, workers) slots while it runs.
+// When the server is saturated, up to Config.QueueDepth slots' worth of
+// requests wait for capacity; beyond that the server sheds load
+// immediately with 429 and a Retry-After header instead of queuing
+// unboundedly. Shed requests never reach the engine.
+//
+// # Ownership and concurrency
+//
+// A Server is immutable after New and safe for concurrent requests; all
+// mutable state (admission counters, metrics) is internally synchronized.
+// The server borrows each BatchResult only for the duration of one
+// response: every member's pooled arena is released back to the engine
+// before the handler returns, so serving traffic never pins arenas
+// between requests. The Backend must be safe for concurrent
+// AnswerBatchCtx calls (wwt.Engine is). Graceful shutdown is the
+// caller's http.Server.Shutdown: the server holds no background
+// goroutines, so draining in-flight requests drains everything.
+package serve

@@ -12,6 +12,7 @@ package wwt
 // the driver loop.
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -103,9 +104,19 @@ var answerPipeline = []pipelineStage{
 var probePipeline = answerPipeline[:4]
 
 // runStages drives a stage list over one query, recording each stage's
-// wall time in its Timings slot.
-func (e *Engine) runStages(stages []pipelineStage, st *queryState, s *QueryScratch, tm *Timings) error {
+// wall time in its Timings slot. Cancellation is checked between stages
+// (a nil ctx disables the checks): a query whose context is canceled or
+// past its deadline stops before the next stage starts and returns
+// ctx.Err(). Stages themselves run to completion, so an aborted query
+// leaves its arena in the same merely-reusable state as any other failed
+// query — safe to return to the pool, never poisoned.
+func (e *Engine) runStages(ctx context.Context, stages []pipelineStage, st *queryState, s *QueryScratch, tm *Timings) error {
 	for i := range stages {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		start := time.Now()
 		ran, err := stages[i].run(e, st, s)
 		if ran && tm != nil {
@@ -282,7 +293,7 @@ func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error)
 	s := e.getScratch()
 	defer e.putScratch(s)
 	st := &queryState{query: q}
-	if err := e.runStages(probePipeline, st, s, tm); err != nil {
+	if err := e.runStages(nil, probePipeline, st, s, tm); err != nil {
 		return nil, false, err
 	}
 	return st.tables, st.probe2Fired, nil
@@ -293,8 +304,17 @@ func (e *Engine) Candidates(q Query, tm *Timings) ([]*wtable.Table, bool, error)
 // is drawn from the engine pool and handed to the Result; call
 // Result.Release to recycle it (see QueryScratch for the contract).
 func (e *Engine) Answer(q Query) (*Result, error) {
+	return e.AnswerCtx(context.Background(), q)
+}
+
+// AnswerCtx is Answer under a context: cancellation and the deadline are
+// checked between pipeline stages, and an aborted query returns ctx.Err().
+// Individual stages are not interrupted mid-flight, so the abort latency
+// is bounded by the longest single stage. An aborted query's arena goes
+// back to the engine pool exactly like any other failed query's.
+func (e *Engine) AnswerCtx(ctx context.Context, q Query) (*Result, error) {
 	s := e.getScratch()
-	res, err := e.answer(q, s)
+	res, err := e.answer(ctx, q, s)
 	if err != nil {
 		e.putScratch(s)
 		return nil, err
@@ -303,11 +323,11 @@ func (e *Engine) Answer(q Query) (*Result, error) {
 }
 
 // answer drives the full stage list with the given arena; the returned
-// Result owns the arena.
-func (e *Engine) answer(q Query, s *QueryScratch) (*Result, error) {
+// Result owns the arena. A nil ctx disables cancellation checks.
+func (e *Engine) answer(ctx context.Context, q Query, s *QueryScratch) (*Result, error) {
 	res := &Result{engine: e, scratch: s}
 	st := &queryState{query: q}
-	if err := e.runStages(answerPipeline, st, s, &res.Timings); err != nil {
+	if err := e.runStages(ctx, answerPipeline, st, s, &res.Timings); err != nil {
 		return nil, err
 	}
 	res.Tables = st.tables

@@ -46,7 +46,7 @@ func TestAnswerScratchEquivalence(t *testing.T) {
 			for _, q := range queries {
 				wq := Query{Columns: q.Columns}
 				pooled, errP := eng.Answer(wq)
-				fresh, errF := eng.answer(wq, &QueryScratch{})
+				fresh, errF := eng.answer(nil, wq, &QueryScratch{})
 				if (errP == nil) != (errF == nil) {
 					t.Fatalf("%v: pooled err %v, fresh err %v", q.Columns, errP, errF)
 				}

@@ -62,6 +62,11 @@ func DefaultOptions() Options {
 // Timings is the per-stage running time split of Fig. 7: one field per
 // pipeline stage. ColumnMap covers only the model build; Infer is the
 // collective inference solve, reported separately.
+//
+// A stage added here must also be added to fields (and timingsStageNames)
+// below — that list is the single enumeration Add, Total and Stages
+// iterate, and TestTimingsFieldsComplete pins it against the struct by
+// reflection, so a new stage can't be silently dropped from aggregation.
 type Timings struct {
 	Probe1      time.Duration
 	Read1       time.Duration
@@ -72,9 +77,54 @@ type Timings struct {
 	Consolidate time.Duration
 }
 
+// timingsStageNames are the pipeline names of the Timings fields, aligned
+// index-for-index with fields.
+var timingsStageNames = []string{
+	"probe1", "read1", "probe2", "read2", "colmap", "infer", "consolidate",
+}
+
+// fields returns pointers to every stage duration in pipeline order — the
+// one place the stage set is enumerated.
+func (t *Timings) fields() []*time.Duration {
+	return []*time.Duration{
+		&t.Probe1, &t.Read1, &t.Probe2, &t.Read2, &t.ColumnMap, &t.Infer, &t.Consolidate,
+	}
+}
+
+// Add accumulates o into t, field by field.
+func (t *Timings) Add(o Timings) {
+	tf, of := t.fields(), o.fields()
+	for i := range tf {
+		*tf[i] += *of[i]
+	}
+}
+
 // Total sums all stages.
 func (t Timings) Total() time.Duration {
-	return t.Probe1 + t.Read1 + t.Probe2 + t.Read2 + t.ColumnMap + t.Infer + t.Consolidate
+	var sum time.Duration
+	for _, d := range t.fields() {
+		sum += *d
+	}
+	return sum
+}
+
+// StageTiming is one named stage's duration, as enumerated by Stages.
+type StageTiming struct {
+	Name string
+	D    time.Duration
+}
+
+// Stages lists every stage with its pipeline name, in pipeline order.
+// Consumers that aggregate or export per-stage time (batch accounting,
+// the serving daemon's /metrics) iterate this instead of hand-copying the
+// field list.
+func (t Timings) Stages() []StageTiming {
+	f := t.fields()
+	out := make([]StageTiming, len(f))
+	for i := range f {
+		out[i] = StageTiming{timingsStageNames[i], *f[i]}
+	}
+	return out
 }
 
 // Result is the full outcome of answering a query.
@@ -183,6 +233,52 @@ func (e *Engine) search(tokens []string, k int) []index.Hit {
 // similarity cache.
 func (e *Engine) builder() *core.Builder {
 	return &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource(), Views: e.views, Pairs: e.pairs}
+}
+
+// CacheStats is a point-in-time snapshot of one cache's cumulative
+// hit/miss counters.
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before the first lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// EngineCacheStats snapshots the four cross-query caches an engine owns:
+// analyzed table views, per-pair column similarities, PMI doc sets, and
+// normalized cell strings. The serving daemon's /metrics endpoint exports
+// these; counters are cumulative since engine construction.
+type EngineCacheStats struct {
+	Views     CacheStats
+	PairSims  CacheStats
+	DocSets   CacheStats
+	NormCells CacheStats
+}
+
+// CacheStats snapshots the engine's cross-query cache counters. Safe for
+// concurrent use; zero-value engines built without NewEngine/NewEngineFrom
+// report all zeros.
+func (e *Engine) CacheStats() EngineCacheStats {
+	var st EngineCacheStats
+	if e.views != nil {
+		st.Views.Hits, st.Views.Misses = e.views.Stats()
+	}
+	if e.pairs != nil {
+		st.PairSims.Hits, st.PairSims.Misses = e.pairs.Stats()
+	}
+	if e.docsets != nil {
+		st.DocSets.Hits, st.DocSets.Misses = e.docsets.Stats()
+	}
+	if e.norm != nil {
+		st.NormCells.Hits, st.NormCells.Misses = e.norm.Stats()
+	}
+	return st
 }
 
 // PMISource exposes the engine's index as the co-occurrence source for the
