@@ -4,7 +4,12 @@
 // header/context detection, and persist the boosted 3-field index and the
 // table store.
 //
-//	wwt-index -crawl ./crawl -out ./idx
+// Alongside the gob snapshot it writes the sharded flat index
+// (docs.wwt + postings-NNN.wwt) that wwt-serve memory-maps for O(1)
+// startup; -shards controls how many postings shards the terms are
+// hashed across.
+//
+//	wwt-index -crawl ./crawl -out ./idx -shards 4
 package main
 
 import (
@@ -27,7 +32,8 @@ type manifestEntry struct {
 
 func main() {
 	crawl := flag.String("crawl", "crawl", "crawl directory (from wwt-corpus)")
-	out := flag.String("out", "idx", "output directory for index.gob and store.gob")
+	out := flag.String("out", "idx", "output directory for index.gob, store.gob and the flat shard files")
+	shards := flag.Int("shards", 1, "postings shards for the flat index (terms are hashed across shards)")
 	flag.Parse()
 
 	start := time.Now()
@@ -71,8 +77,12 @@ func main() {
 	if err := st.Save(filepath.Join(*out, "store.gob")); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("indexed %d tables from %d pages in %.1fs -> %s\n",
-		len(tables), pages, time.Since(start).Seconds(), *out)
+	flatStart := time.Now()
+	if err := index.WriteSharded(*out, index.NewSearcher(ix), *shards); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexed %d tables from %d pages in %.1fs -> %s (flat index: %d shard(s), %.2fs)\n",
+		len(tables), pages, time.Since(start).Seconds(), *out, *shards, time.Since(flatStart).Seconds())
 }
 
 func fatal(err error) {

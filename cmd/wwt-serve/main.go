@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"os"
 	"os/signal"
@@ -65,15 +66,15 @@ func main() {
 		fatal(fmt.Errorf("unknown algorithm %q", *alg))
 	}
 
-	ix, err := index.Load(filepath.Join(*idxDir, "index.gob"))
-	if err != nil {
-		fatal(err)
-	}
 	st, err := index.LoadStore(filepath.Join(*idxDir, "store.gob"))
 	if err != nil {
 		fatal(err)
 	}
-	eng := wwt.NewEngineFrom(ix, st, &opts)
+	eng, form, err := openEngine(*idxDir, st, &opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
 
 	srv := serve.New(eng, serve.Config{
 		Workers:        *workers,
@@ -97,7 +98,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("wwt-serve: %d tables, listening on %s\n", st.Len(), *addr)
+		fmt.Printf("wwt-serve: %d tables (%s), listening on %s\n", st.Len(), form, *addr)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -118,6 +119,29 @@ func main() {
 		}
 		fmt.Println("wwt-serve: drained, bye")
 	}
+}
+
+// openEngine prefers the flat sharded index (O(1) memory-mapped open),
+// falling back to the gob snapshot when the directory predates wwt-index's
+// flat output. It returns the engine plus a human-readable description of
+// which form loaded.
+func openEngine(dir string, st *index.Store, opts *wwt.Options) (*wwt.Engine, string, error) {
+	ss, err := index.OpenSharded(dir)
+	if err == nil {
+		form := fmt.Sprintf("flat index, %d shard(s)", ss.Shards())
+		if ss.Mmapped() {
+			form = fmt.Sprintf("flat mmap index, %d shard(s)", ss.Shards())
+		}
+		return wwt.NewEngineFromSharded(ss, st, opts), form, nil
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		return nil, "", err
+	}
+	ix, err := index.Load(filepath.Join(dir, "index.gob"))
+	if err != nil {
+		return nil, "", err
+	}
+	return wwt.NewEngineFrom(ix, st, opts), "gob index", nil
 }
 
 func fatal(err error) {

@@ -3,8 +3,7 @@
 // context and content — carrying relative boosts 2, 1.5 and 1. It supports
 // the union-of-keywords probes used by WWT's two-stage retrieval, exposes
 // corpus statistics (IDF) to the feature code, and serves the sorted
-// document sets that the PMI² feature intersects. Indexes and table stores
-// persist to disk with encoding/gob.
+// document sets that the PMI² feature intersects.
 //
 // # Ownership and concurrency contracts
 //
@@ -19,8 +18,72 @@
 // sums stay bit-identical) — keep that invariant when touching either
 // side.
 //
-// DocSetCache is a concurrency-safe LRU over Searcher.DocSet, keyed by
-// the canonicalized token set plus field mask. Cached doc-set slices are
-// shared and read-only: callers only intersect them, never mutate.
-// Store is append-only at build time and read-only afterwards.
+// DocSetCache (and its sharded counterpart ShardedDocSetCache) is a
+// concurrency-safe LRU over DocSet, keyed by the canonicalized token set
+// plus field mask. Cached doc-set slices are shared and read-only: callers
+// only intersect them, never mutate. Store is append-only at build time
+// and read-only afterwards.
+//
+// # Persistence: gob snapshots and the flat sharded index
+//
+// Two on-disk forms exist side by side:
+//
+//   - index.gob / store.gob — encoding/gob snapshots of the build-time
+//     Index and the table Store, each prefixed with an 8-byte magic
+//     ("WWTIXG01" / "WWTSTG01") and a uint32 little-endian format version
+//     so stale or mixed-up files fail fast with a precise error. Loading
+//     the index gob decodes every posting map into memory (O(corpus)).
+//
+//   - docs.wwt + postings-NNN.wwt — the flat sharded index written by
+//     WriteSharded and opened by OpenSharded. Opening is O(1) in corpus
+//     size: the files are memory-mapped (page-cache backed) and the
+//     searcher's arrays alias the mapping directly; no maps are built and
+//     no bytes are copied on the fast path.
+//
+// # Flat file layout (format version 1)
+//
+// Every .wwt file is little-endian and starts with a 48-byte header:
+//
+//	offset  size  field
+//	     0     8  magic "WWTFLT01"
+//	     8     4  format version (1)
+//	    12     4  kind: 1 = docs file, 2 = postings shard
+//	    16     4  shardIndex (0 for docs)
+//	    20     4  shardCount
+//	    24     8  numDocs
+//	    32     8  numTerms (this shard's; 0 for docs)
+//	    40     4  sectionCount
+//	    44     4  reserved
+//
+// A section table of sectionCount 24-byte entries {id u32, reserved u32,
+// offset u64, len u64} follows, then the section payloads. Every payload
+// starts at an 8-byte-aligned offset, so int64/float64 sections can be
+// aliased in place. Strings (doc IDs, terms) are stored as an int64
+// offsets array plus one concatenated byte blob; terms are sorted, and
+// lookup is a binary search over the blob — building a map at open time
+// would make open O(terms).
+//
+// On little-endian hosts with an aligned mapping the typed views are
+// zero-copy (unsafe.Slice over the mapped bytes); on big-endian hosts or
+// unaligned fallback reads each section is decoded element-wise into a
+// fresh slice. When mmap is unavailable (or refused by the kernel) the
+// same files are read whole through io.ReaderAt into aligned buffers —
+// same format, portable path, still one validation pass.
+//
+// Because the flat searcher's strings and doc sets alias the mapping,
+// results must not outlive ShardedSearcher.Close.
+//
+// # Sharding and the scatter-gather contract
+//
+// Terms are partitioned across postings shards by FNV-1a hash
+// (shardOfToken), while documents stay global: every shard stores the
+// full-corpus df, idf and max-score bound for its terms, so per-term
+// statistics are exactly equal to their single-shard values. A probe
+// scatters term resolution (lookup + page prefault) across shards in
+// parallel, then gathers by accumulating in canonical lexicographic term
+// order with the same admission-skip logic as Searcher.Search. Identical
+// operation order makes the float64 sums — and therefore hits, scores and
+// tie-breaks — bit-identical to the single-shard searcher for every shard
+// count; TestShardedSearcherEquivalence pins this for N ∈ {1, 2, 3, 8}.
+// Keep that invariant when touching either search loop.
 package index

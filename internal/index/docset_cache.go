@@ -3,19 +3,27 @@ package index
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"wwt/internal/lru"
 )
 
-// DocSetCache is a bounded, concurrency-safe LRU cache in front of
-// Searcher.DocSet. The PMI² feature probes the same H(Qℓ) set once per
+// DocSetSource is anything that can compute sorted doc sets — both the
+// single-shard Searcher and the ShardedSearcher qualify, as does the
+// map-based Index.
+type DocSetSource interface {
+	DocSet(tokens []string, fields ...Field) []int32
+}
+
+// DocSetCache is a bounded, concurrency-safe LRU cache in front of a
+// DocSetSource. The PMI² feature probes the same H(Qℓ) set once per
 // (query column × candidate column) and the same B(cell) set for every
 // repeated cell value, within and across queries; caching the intersected
 // sets turns those repeats into a map hit. Cached slices are shared —
 // callers must treat them as read-only (every in-repo consumer only
 // intersects them).
 type DocSetCache struct {
-	src *Searcher
+	src DocSetSource
 	c   *lru.Cache[string, []int32]
 }
 
@@ -23,21 +31,29 @@ type DocSetCache struct {
 // non-positive capacity.
 const DefaultDocSetCacheSize = 8192
 
-// NewDocSetCache wraps a searcher with an LRU of at most capacity entries.
-func NewDocSetCache(src *Searcher, capacity int) *DocSetCache {
+// NewDocSetCache wraps a doc-set source with an LRU of at most capacity
+// entries.
+func NewDocSetCache(src DocSetSource, capacity int) *DocSetCache {
 	if capacity <= 0 {
 		capacity = DefaultDocSetCacheSize
 	}
 	return &DocSetCache{src: src, c: lru.New[string, []int32](capacity)}
 }
 
-// DocSet returns Searcher.DocSet(tokens, fields...), memoized on the
+// DocSet returns src.DocSet(tokens, fields...), memoized on the
 // deduplicated sorted token set plus the field mask. The intersection runs
 // outside the cache lock (it can be expensive; DocSet is a pure function
 // of the key, so racing duplicate computes are harmless).
 func (c *DocSetCache) DocSet(tokens []string, fields ...Field) []int32 {
 	key := docSetKey(tokens, fields)
-	return c.c.Get(key, func() []int32 { return c.src.DocSet(tokens, fields...) })
+	if v, ok := c.c.Cached(key); ok { // closure-free: warm hits allocate only the key
+		return v
+	}
+	// Copy fields so the variadic slice doesn't escape through the closure:
+	// capturing it directly would heap-allocate it at every call site,
+	// including warm hits that never run compute.
+	fs := append([]Field(nil), fields...)
+	return c.c.Get(key, func() []int32 { return c.src.DocSet(tokens, fs...) })
 }
 
 // Stats reports cumulative hit/miss counts.
@@ -46,21 +62,120 @@ func (c *DocSetCache) Stats() (hits, misses uint64) { return c.c.Stats() }
 // Len returns the number of cached entries.
 func (c *DocSetCache) Len() int { return c.c.Len() }
 
+// CacheCounters is one cache partition's cumulative hit/miss counters.
+type CacheCounters struct {
+	Hits, Misses uint64
+}
+
+// ShardedDocSetCache is the sharded counterpart of DocSetCache: one
+// independent LRU per index shard, with keys routed by hash. Aligning the
+// cache partitions with the index shards keeps lock contention per shard
+// rather than global and gives per-shard hit-rate observability (surfaced
+// through Engine.CacheStats → /metrics).
+type ShardedDocSetCache struct {
+	src    DocSetSource
+	shards []*lru.Cache[string, []int32]
+}
+
+// NewShardedDocSetCache wraps src with nShards independent LRUs holding at
+// most capacity entries in total (DefaultDocSetCacheSize when capacity is
+// non-positive; every shard gets at least a handful of entries).
+func NewShardedDocSetCache(src DocSetSource, nShards, capacity int) *ShardedDocSetCache {
+	if nShards < 1 {
+		nShards = 1
+	}
+	if capacity <= 0 {
+		capacity = DefaultDocSetCacheSize
+	}
+	per := capacity / nShards
+	if per < 16 {
+		per = 16
+	}
+	c := &ShardedDocSetCache{src: src, shards: make([]*lru.Cache[string, []int32], nShards)}
+	for i := range c.shards {
+		c.shards[i] = lru.New[string, []int32](per)
+	}
+	return c
+}
+
+// DocSet is DocSetCache.DocSet with the key routed to its home shard.
+func (c *ShardedDocSetCache) DocSet(tokens []string, fields ...Field) []int32 {
+	key := docSetKey(tokens, fields)
+	sh := c.shards[shardOfToken(key, len(c.shards))]
+	if v, ok := sh.Cached(key); ok { // closure-free: warm hits allocate only the key
+		return v
+	}
+	fs := append([]Field(nil), fields...) // see DocSetCache.DocSet
+	return sh.Get(key, func() []int32 { return c.src.DocSet(tokens, fs...) })
+}
+
+// Stats reports cumulative hit/miss counts summed over all shards.
+func (c *ShardedDocSetCache) Stats() (hits, misses uint64) {
+	for _, sh := range c.shards {
+		h, m := sh.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// ShardStats reports each shard's cumulative counters, in shard order.
+func (c *ShardedDocSetCache) ShardStats() []CacheCounters {
+	out := make([]CacheCounters, len(c.shards))
+	for i, sh := range c.shards {
+		out[i].Hits, out[i].Misses = sh.Stats()
+	}
+	return out
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *ShardedDocSetCache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// keyScratch pools the sort buffer docSetKey uses, so key construction's
+// only allocation is the key string itself.
+var keyScratch = sync.Pool{New: func() any { return new(docSetKeyScratch) }}
+
+type docSetKeyScratch struct {
+	toks []string
+}
+
 // docSetKey canonicalizes (tokens, fields) into a cache key: unique tokens
-// sorted and joined with an unlikely separator, prefixed by the field mask.
+// sorted and joined with an unlikely separator, prefixed by the field
+// mask. One pass over a pooled sorted copy sizes the builder exactly, so
+// the single allocation is the returned key — warm cache hits do no other
+// allocation (pinned by TestDocSetCacheWarmHitAllocs).
 func docSetKey(tokens []string, fields []Field) string {
 	mask := 0
 	for _, f := range fields {
 		mask |= 1 << f
 	}
-	uniq := dedup(tokens)
-	sort.Strings(uniq)
+	ks := keyScratch.Get().(*docSetKeyScratch)
+	toks := append(ks.toks[:0], tokens...)
+	sort.Strings(toks)
+	size := 1
+	for i, t := range toks {
+		if i > 0 && t == toks[i-1] {
+			continue
+		}
+		size += 1 + len(t)
+	}
 	var b strings.Builder
-	b.Grow(2 + len(uniq)*8)
+	b.Grow(size)
 	b.WriteByte(byte('0' + mask))
-	for _, t := range uniq {
+	for i, t := range toks {
+		if i > 0 && t == toks[i-1] {
+			continue
+		}
 		b.WriteByte(0x1f)
 		b.WriteString(t)
 	}
+	ks.toks = toks
+	keyScratch.Put(ks)
 	return b.String()
 }

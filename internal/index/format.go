@@ -1,0 +1,476 @@
+package index
+
+// On-disk formats. Two families exist:
+//
+//   - The gob snapshots (index.gob / store.gob) keep the full mutable Index
+//     and the table Store. They are decode-on-load and now carry an 8-byte
+//     magic plus a uint32 format version so a stale or foreign file fails
+//     with a clear error instead of a decoder error deep in the stack.
+//
+//   - The flat sharded index (docs.wwt + postings-NNN.wwt) is the serving
+//     form: a versioned, mmap-friendly layout of the frozen Searcher's CSR
+//     arrays. Opening it is O(1) page mapping plus header validation — no
+//     decode — with a portable read-into-memory fallback where mmap is
+//     unavailable.
+//
+// Flat file layout (all integers little-endian, sections 8-byte aligned):
+//
+//	offset  size  field
+//	0       8     magic "WWTFLT01"
+//	8       4     format version (currently 1)
+//	12      4     kind (1 = doc table, 2 = postings shard)
+//	16      4     shard index (postings files; 0 for the doc table)
+//	20      4     shard count
+//	24      8     numDocs
+//	32      8     numTerms (0 for the doc table)
+//	40      4     section count
+//	44      4     reserved (0)
+//	48      24×n  section table: {id u32, reserved u32, offset u64, bytes u64}
+//	...           section payloads, each 8-byte aligned, zero padded between
+//
+// Numeric sections are raw little-endian arrays ([]int32, []int64,
+// []float32, []float64 bit patterns); on little-endian hosts they are
+// aliased straight out of the mapping with zero copies, on big-endian
+// hosts they are decoded element-wise into the heap. String tables
+// (table IDs, term names) are an offsets array plus one concatenated
+// byte blob.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// Magic numbers and versions. The gob magics differ per file kind so that
+// handing a store to Load (or vice versa) is diagnosed precisely.
+const (
+	flatMagic     = "WWTFLT01"
+	gobIndexMagic = "WWTIXG01"
+	gobStoreMagic = "WWTSTG01"
+
+	flatFormatVersion = 1
+	gobFormatVersion  = 1
+)
+
+// Flat file kinds.
+const (
+	kindDocs     = 1 // doc table: table IDs shared by every shard
+	kindPostings = 2 // one postings shard: terms + CSR arrays
+)
+
+// Flat section IDs.
+const (
+	secIDOffs   = 1 // []int64, numDocs+1 offsets into secIDBlob
+	secIDBlob   = 2 // concatenated table-ID bytes
+	secTermOffs = 3 // []int64, numTerms+1 offsets into secTermBlob
+	secTermBlob = 4 // concatenated term bytes, lexicographic order
+	secIDF      = 5 // []float64, per term
+	secMaxScore = 6 // []float64, per term
+	secDF       = 7 // []int32, per term
+	// Per-field CSR sections: off / docs / wts for field f.
+	secFieldBase = 8 // + 3*f + {0: off, 1: docs, 2: wts}
+)
+
+func secFieldOff(f int) uint32  { return uint32(secFieldBase + 3*f) }
+func secFieldDocs(f int) uint32 { return uint32(secFieldBase + 3*f + 1) }
+func secFieldWts(f int) uint32  { return uint32(secFieldBase + 3*f + 2) }
+
+const flatHeaderSize = 48
+
+// hostLittleEndian reports whether raw multi-byte loads read little-endian
+// data correctly on this machine — the gate for zero-copy array aliasing.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// ---- raw array <-> byte views ------------------------------------------
+
+// int32Bytes returns the little-endian byte image of s: a zero-copy alias
+// on little-endian hosts, an encoded copy otherwise.
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+	}
+	out := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+func int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+	}
+	out := make([]byte, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+func float32Bytes(s []float32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+	}
+	out := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+func float64Bytes(s []float64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+	}
+	out := make([]byte, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// viewInt32 interprets b as a little-endian []int32 — zero-copy when the
+// host is little-endian and b is 4-aligned (always true for section
+// payloads: the mapping base is page aligned and sections are 8-aligned),
+// a decoded heap copy otherwise.
+func viewInt32(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func viewInt64(b []byte) []int64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func viewFloat32(b []byte) []float32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func viewFloat64(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// unsafeString returns b viewed as a string without copying. The bytes
+// must stay immutable and mapped for the string's lifetime.
+func unsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// alignedBuf allocates an 8-byte-aligned byte buffer (backed by []uint64,
+// whose alignment the runtime guarantees) so the read-into-memory fallback
+// can use the same zero-copy array views as the mmap path.
+func alignedBuf(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	u := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&u[0])), n)
+}
+
+// readFileAligned reads a whole file into an aligned heap buffer — the
+// portable io.ReaderAt fallback used when mmap is unavailable or disabled.
+func readFileAligned(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := alignedBuf(int(st.Size()))
+	if _, err := f.ReadAt(buf, 0); err != nil && int64(len(buf)) > 0 {
+		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return buf, func() error { return nil }, nil
+}
+
+// ---- flat file writer ---------------------------------------------------
+
+// section is one payload queued for writeFlatFile.
+type section struct {
+	id   uint32
+	data []byte
+}
+
+// writeFlatFile lays out header + section table + 8-aligned payloads.
+func writeFlatFile(path string, kind, shardIndex, shardCount uint32, numDocs, numTerms uint64, secs []section) (err error) {
+	headerSize := flatHeaderSize + 24*len(secs)
+	hdr := make([]byte, align8(headerSize))
+	copy(hdr[0:8], flatMagic)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[8:], flatFormatVersion)
+	le.PutUint32(hdr[12:], kind)
+	le.PutUint32(hdr[16:], shardIndex)
+	le.PutUint32(hdr[20:], shardCount)
+	le.PutUint64(hdr[24:], numDocs)
+	le.PutUint64(hdr[32:], numTerms)
+	le.PutUint32(hdr[40:], uint32(len(secs)))
+
+	off := len(hdr)
+	for i, s := range secs {
+		e := hdr[flatHeaderSize+24*i:]
+		le.PutUint32(e, s.id)
+		le.PutUint64(e[8:], uint64(off))
+		le.PutUint64(e[16:], uint64(len(s.data)))
+		off = align8(off + len(s.data))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := f.Write(hdr); err != nil {
+		return err
+	}
+	var pad [8]byte
+	pos := len(hdr)
+	for _, s := range secs {
+		if _, err := f.Write(s.data); err != nil {
+			return err
+		}
+		pos += len(s.data)
+		if p := align8(pos) - pos; p > 0 {
+			if _, err := f.Write(pad[:p]); err != nil {
+				return err
+			}
+			pos += p
+		}
+	}
+	return nil
+}
+
+// ---- flat file reader ---------------------------------------------------
+
+// flatFile is one opened flat-format file: the raw mapping, parsed header
+// fields, and the section directory (views into the mapping).
+type flatFile struct {
+	path       string
+	data       []byte
+	closer     func() error
+	kind       uint32
+	shardIndex uint32
+	shardCount uint32
+	numDocs    uint64
+	numTerms   uint64
+	secs       map[uint32][]byte
+}
+
+func (ff *flatFile) corrupt(format string, args ...any) error {
+	return fmt.Errorf("index open %s: corrupt flat index: %s", ff.path, fmt.Sprintf(format, args...))
+}
+
+// openFlatFile maps (or reads) one flat file and validates magic, version
+// and the section table. noMmap forces the portable read path.
+func openFlatFile(path string, noMmap bool) (*flatFile, error) {
+	var (
+		data   []byte
+		closer func() error
+		err    error
+	)
+	if noMmap {
+		data, closer, err = readFileAligned(path)
+	} else {
+		data, closer, err = mapFile(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("index open: %w", err)
+	}
+	ff := &flatFile{path: path, data: data, closer: closer}
+	fail := func(e error) (*flatFile, error) {
+		ff.Close()
+		return nil, e
+	}
+	if len(data) < flatHeaderSize {
+		return fail(ff.corrupt("file is %d bytes, smaller than the %d-byte header", len(data), flatHeaderSize))
+	}
+	if got := string(data[0:8]); got != flatMagic {
+		switch got {
+		case gobIndexMagic:
+			return fail(fmt.Errorf("index open %s: this is a gob index snapshot (use index.Load), not a flat index file", path))
+		case gobStoreMagic:
+			return fail(fmt.Errorf("index open %s: this is a gob table store (use index.LoadStore), not a flat index file", path))
+		}
+		return fail(fmt.Errorf("index open %s: bad magic %q — not a wwt flat index file (foreign data, or written by an incompatible build); rebuild with wwt-index", path, got))
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(data[8:]); v != flatFormatVersion {
+		return fail(fmt.Errorf("index open %s: flat format version %d, this build supports %d; rebuild with wwt-index", path, v, flatFormatVersion))
+	}
+	ff.kind = le.Uint32(data[12:])
+	ff.shardIndex = le.Uint32(data[16:])
+	ff.shardCount = le.Uint32(data[20:])
+	ff.numDocs = le.Uint64(data[24:])
+	ff.numTerms = le.Uint64(data[32:])
+	nSecs := int(le.Uint32(data[40:]))
+	if flatHeaderSize+24*nSecs > len(data) {
+		return fail(ff.corrupt("section table (%d entries) overruns the file", nSecs))
+	}
+	ff.secs = make(map[uint32][]byte, nSecs)
+	for i := 0; i < nSecs; i++ {
+		e := data[flatHeaderSize+24*i:]
+		id := le.Uint32(e)
+		off := le.Uint64(e[8:])
+		n := le.Uint64(e[16:])
+		if off%8 != 0 || off+n < off || off+n > uint64(len(data)) {
+			return fail(ff.corrupt("section %d at [%d, %d) overruns the %d-byte file", id, off, off+n, len(data)))
+		}
+		if _, dup := ff.secs[id]; dup {
+			return fail(ff.corrupt("duplicate section %d", id))
+		}
+		ff.secs[id] = data[off : off+n]
+	}
+	return ff, nil
+}
+
+// Close releases the mapping. Any zero-copy views into the file become
+// invalid.
+func (ff *flatFile) Close() error {
+	if ff.closer == nil {
+		return nil
+	}
+	c := ff.closer
+	ff.closer = nil
+	return c()
+}
+
+// sec returns a section payload, failing clearly when it is absent.
+func (ff *flatFile) sec(id uint32) ([]byte, error) {
+	b, ok := ff.secs[id]
+	if !ok {
+		return nil, ff.corrupt("missing section %d", id)
+	}
+	return b, nil
+}
+
+// int32Sec returns a section as []int32, validating the element count.
+func (ff *flatFile) int32Sec(id uint32, count int) ([]int32, error) {
+	b, err := ff.sec(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 4*count {
+		return nil, ff.corrupt("section %d is %d bytes, want %d int32s", id, len(b), count)
+	}
+	return viewInt32(b), nil
+}
+
+func (ff *flatFile) int64Sec(id uint32, count int) ([]int64, error) {
+	b, err := ff.sec(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 8*count {
+		return nil, ff.corrupt("section %d is %d bytes, want %d int64s", id, len(b), count)
+	}
+	return viewInt64(b), nil
+}
+
+func (ff *flatFile) float32Sec(id uint32, count int) ([]float32, error) {
+	b, err := ff.sec(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 4*count {
+		return nil, ff.corrupt("section %d is %d bytes, want %d float32s", id, len(b), count)
+	}
+	return viewFloat32(b), nil
+}
+
+func (ff *flatFile) float64Sec(id uint32, count int) ([]float64, error) {
+	b, err := ff.sec(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 8*count {
+		return nil, ff.corrupt("section %d is %d bytes, want %d float64s", id, len(b), count)
+	}
+	return viewFloat64(b), nil
+}
+
+// packStrings flattens a string table into (offsets, blob) form.
+func packStrings(ss []string) ([]int64, []byte) {
+	total := 0
+	for _, v := range ss {
+		total += len(v)
+	}
+	offs := make([]int64, len(ss)+1)
+	blob := make([]byte, 0, total)
+	for i, v := range ss {
+		offs[i] = int64(len(blob))
+		blob = append(blob, v...)
+	}
+	offs[len(ss)] = int64(len(blob))
+	return offs, blob
+}

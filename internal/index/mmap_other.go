@@ -1,0 +1,11 @@
+//go:build !unix
+
+package index
+
+// mapFile on platforms without a wired-up mmap reads the whole file into
+// an aligned buffer through the portable io.ReaderAt fallback. The flat
+// format still skips all decoding — arrays are aliased from the buffer
+// exactly as they would be from a mapping.
+func mapFile(path string) ([]byte, func() error, error) {
+	return readFileAligned(path)
+}

@@ -130,6 +130,19 @@ func NewSearcher(ix *Index) *Searcher {
 // Len returns the number of indexed documents.
 func (s *Searcher) Len() int { return s.numDocs }
 
+// IDF returns the smoothed inverse document frequency of a token,
+// identical to Index.IDF: known terms return the value precomputed at
+// freeze time; unknown terms recompute the same smoothed formula.
+func (s *Searcher) IDF(tok string) float64 {
+	if s.numDocs == 0 {
+		return 1
+	}
+	if ti, ok := s.terms[tok]; ok {
+		return s.idf[ti]
+	}
+	return math.Log(1 + float64(s.numDocs))
+}
+
 // IDOf returns the table ID of an internal doc number.
 func (s *Searcher) IDOf(doc int32) string { return s.ids[doc] }
 

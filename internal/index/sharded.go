@@ -1,0 +1,688 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedSearcher is the sharded, disk-resident form of the frozen
+// Searcher: postings are partitioned by term hash into independent shards,
+// each holding its own term table and CSR arrays, while the doc table
+// (doc number → table ID) is shared. A probe scatters across shards in
+// parallel — each shard resolves its slice of the query terms and
+// prefaults their posting pages — and the gather accumulates contributions
+// in the same canonical lexicographic term order as the single-shard
+// Searcher, so hits are bit-identical (IDs, scores, order, tie-breaks)
+// for every shard count. Term-hash sharding keeps every per-term quantity
+// (idf, df, max-score bound, posting list) exactly equal to its
+// single-shard value, which is what makes the canonical-order gather
+// exact rather than merely approximate.
+//
+// A ShardedSearcher is immutable and safe for concurrent use. When opened
+// from disk (OpenSharded) its arrays alias the file mapping: results must
+// not outlive Close.
+//
+// This type must stay in lockstep with Searcher.Search — the skip logic,
+// thresholds and tie-breaks are deliberate copies; change both sides
+// together (TestShardedSearcherEquivalence pins them).
+type ShardedSearcher struct {
+	numDocs    int
+	shardCount int
+
+	// Doc table: either materialized strings (in-memory construction) or
+	// an offsets+blob view into the docs file (flat construction).
+	ids    []string
+	idOffs []int64
+	idBlob []byte
+
+	shards  []*shard
+	pool    sync.Pool // *shardedScratch
+	closers []func() error
+	mmapped bool
+}
+
+// shard is one term-hash partition: a term table in lexicographic order
+// plus the per-field CSR arrays over the shared doc space.
+type shard struct {
+	numTerms int
+
+	names    []string // in-memory construction
+	termOffs []int64  // flat construction
+	termBlob []byte
+
+	idf      []float64
+	maxScore []float64
+	df       []int32
+
+	off  [numFields][]int32
+	docs [numFields][]int32
+	wts  [numFields][]float32
+}
+
+// shardOfToken is the stable (cross-process) term→shard assignment:
+// FNV-1a 64 over the token bytes, mod the shard count. Inlined so probes
+// don't allocate a hash.Hash per token.
+func shardOfToken(tok string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tok); i++ {
+		h ^= uint64(tok[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// termName returns term i's token.
+func (sh *shard) termName(i int32) string {
+	if sh.names != nil {
+		return sh.names[i]
+	}
+	return unsafeString(sh.termBlob[sh.termOffs[i]:sh.termOffs[i+1]])
+}
+
+// lookup binary-searches the shard's lexicographic term table — no map to
+// build at open time, so opening stays O(1) in corpus size.
+func (sh *shard) lookup(tok string) (int32, bool) {
+	lo, hi := int32(0), int32(sh.numTerms)
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if sh.termName(mid) < tok {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int32(sh.numTerms) && sh.termName(lo) == tok {
+		return lo, true
+	}
+	return 0, false
+}
+
+// NewShardedFromSearcher partitions a frozen Searcher's terms by hash into
+// n shards, copying each term's CSR ranges into its home shard. Per-term
+// statistics (idf, df, maxScore) carry over unchanged — term-hash
+// sharding does not alter them. The doc table is shared with s.
+func NewShardedFromSearcher(s *Searcher, n int) *ShardedSearcher {
+	if n < 1 {
+		n = 1
+	}
+	ss := &ShardedSearcher{
+		numDocs:    s.numDocs,
+		shardCount: n,
+		ids:        s.ids,
+		shards:     make([]*shard, n),
+	}
+	perShard := make([][]int32, n)
+	for ti, name := range s.names {
+		g := shardOfToken(name, n)
+		perShard[g] = append(perShard[g], int32(ti))
+	}
+	for g := 0; g < n; g++ {
+		tids := perShard[g] // ascending global term IDs = lexicographic order
+		sh := &shard{
+			numTerms: len(tids),
+			names:    make([]string, len(tids)),
+			idf:      make([]float64, len(tids)),
+			maxScore: make([]float64, len(tids)),
+			df:       make([]int32, len(tids)),
+		}
+		for f := 0; f < int(numFields); f++ {
+			total := 0
+			for _, ti := range tids {
+				total += int(s.off[f][ti+1] - s.off[f][ti])
+			}
+			sh.off[f] = make([]int32, len(tids)+1)
+			sh.docs[f] = make([]int32, 0, total)
+			sh.wts[f] = make([]float32, 0, total)
+		}
+		for li, ti := range tids {
+			sh.names[li] = s.names[ti]
+			sh.idf[li] = s.idf[ti]
+			sh.maxScore[li] = s.maxScore[ti]
+			sh.df[li] = s.df[ti]
+			for f := 0; f < int(numFields); f++ {
+				lo, hi := s.off[f][ti], s.off[f][ti+1]
+				sh.off[f][li] = int32(len(sh.docs[f]))
+				sh.docs[f] = append(sh.docs[f], s.docs[f][lo:hi]...)
+				sh.wts[f] = append(sh.wts[f], s.wts[f][lo:hi]...)
+			}
+		}
+		for f := 0; f < int(numFields); f++ {
+			sh.off[f][len(tids)] = int32(len(sh.docs[f]))
+		}
+		ss.shards[g] = sh
+	}
+	return ss
+}
+
+// shardFileName names shard g's postings file inside an index directory.
+func shardFileName(g int) string { return fmt.Sprintf("postings-%03d.wwt", g) }
+
+// DocsFileName is the shared doc-table file of a flat sharded index; its
+// presence marks a directory as holding one.
+const DocsFileName = "docs.wwt"
+
+// maxShards bounds the builder: beyond this, per-shard overhead dwarfs any
+// fan-out win and the file-per-shard layout stops making sense.
+const maxShards = 4096
+
+// WriteSharded persists a frozen Searcher as a flat sharded index under
+// dir: one shared doc-table file plus nShards postings files, each in the
+// versioned mmap-friendly layout described in the package documentation.
+func WriteSharded(dir string, s *Searcher, nShards int) error {
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > maxShards {
+		return fmt.Errorf("index write: %d shards exceeds the %d-shard limit", nShards, maxShards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("index write: %w", err)
+	}
+	ss := NewShardedFromSearcher(s, nShards)
+	idOffs, idBlob := packStrings(s.ids)
+	err := writeFlatFile(filepath.Join(dir, DocsFileName), kindDocs, 0, uint32(nShards),
+		uint64(s.numDocs), 0, []section{
+			{secIDOffs, int64Bytes(idOffs)},
+			{secIDBlob, idBlob},
+		})
+	if err != nil {
+		return fmt.Errorf("index write: %w", err)
+	}
+	for g, sh := range ss.shards {
+		termOffs, termBlob := packStrings(sh.names)
+		secs := []section{
+			{secTermOffs, int64Bytes(termOffs)},
+			{secTermBlob, termBlob},
+			{secIDF, float64Bytes(sh.idf)},
+			{secMaxScore, float64Bytes(sh.maxScore)},
+			{secDF, int32Bytes(sh.df)},
+		}
+		for f := 0; f < int(numFields); f++ {
+			secs = append(secs,
+				section{secFieldOff(f), int32Bytes(sh.off[f])},
+				section{secFieldDocs(f), int32Bytes(sh.docs[f])},
+				section{secFieldWts(f), float32Bytes(sh.wts[f])},
+			)
+		}
+		err := writeFlatFile(filepath.Join(dir, shardFileName(g)), kindPostings,
+			uint32(g), uint32(nShards), uint64(s.numDocs), uint64(sh.numTerms), secs)
+		if err != nil {
+			return fmt.Errorf("index write: %w", err)
+		}
+	}
+	return nil
+}
+
+// OpenSharded opens a flat sharded index written by WriteSharded. Opening
+// is O(1) in corpus size: the files are page-mapped (or read whole where
+// mmap is unavailable) and only headers are validated — no decode, no
+// map building. The returned searcher's strings and arrays alias the
+// mappings; results must not outlive Close. A directory without a flat
+// index fails with an error wrapping fs.ErrNotExist, so callers can fall
+// back to the gob path.
+func OpenSharded(dir string) (*ShardedSearcher, error) {
+	return openSharded(dir, false)
+}
+
+// openSharded is OpenSharded with a switch forcing the portable
+// read-into-memory path (exercised by tests; also the only path on
+// platforms without mmap).
+func openSharded(dir string, noMmap bool) (*ShardedSearcher, error) {
+	df, err := openFlatFile(filepath.Join(dir, DocsFileName), noMmap)
+	if err != nil {
+		return nil, err
+	}
+	ss := &ShardedSearcher{mmapped: !noMmap}
+	ss.closers = append(ss.closers, df.Close)
+	fail := func(e error) (*ShardedSearcher, error) {
+		ss.Close()
+		return nil, e
+	}
+	if df.kind != kindDocs {
+		return fail(df.corrupt("file kind %d, want doc table (%d)", df.kind, kindDocs))
+	}
+	if df.shardCount < 1 || df.shardCount > maxShards {
+		return fail(df.corrupt("shard count %d out of range", df.shardCount))
+	}
+	ss.numDocs = int(df.numDocs)
+	ss.shardCount = int(df.shardCount)
+	if ss.idOffs, err = df.int64Sec(secIDOffs, ss.numDocs+1); err != nil {
+		return fail(err)
+	}
+	if ss.idBlob, err = df.sec(secIDBlob); err != nil {
+		return fail(err)
+	}
+	if ss.numDocs > 0 && int(ss.idOffs[ss.numDocs]) != len(ss.idBlob) {
+		return fail(df.corrupt("doc-ID blob is %d bytes, offsets end at %d", len(ss.idBlob), ss.idOffs[ss.numDocs]))
+	}
+	ss.shards = make([]*shard, ss.shardCount)
+	for g := 0; g < ss.shardCount; g++ {
+		pf, err := openFlatFile(filepath.Join(dir, shardFileName(g)), noMmap)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return fail(fmt.Errorf("index open %s: shard file %s missing (doc table says %d shards): %w",
+					dir, shardFileName(g), ss.shardCount, err))
+			}
+			return fail(err)
+		}
+		ss.closers = append(ss.closers, pf.Close)
+		sh, err := openShardFile(pf, g, ss.shardCount, ss.numDocs)
+		if err != nil {
+			return fail(err)
+		}
+		ss.shards[g] = sh
+	}
+	return ss, nil
+}
+
+// openShardFile validates one postings file's header against the doc
+// table and aliases its sections into a shard.
+func openShardFile(pf *flatFile, g, shardCount, numDocs int) (*shard, error) {
+	if pf.kind != kindPostings {
+		return nil, pf.corrupt("file kind %d, want postings shard (%d)", pf.kind, kindPostings)
+	}
+	if int(pf.shardIndex) != g || int(pf.shardCount) != shardCount {
+		return nil, pf.corrupt("shard %d/%d, doc table says %d/%d — files from different builds mixed in one directory?",
+			pf.shardIndex, pf.shardCount, g, shardCount)
+	}
+	if int(pf.numDocs) != numDocs {
+		return nil, pf.corrupt("shard built over %d docs, doc table has %d — files from different builds mixed in one directory?",
+			pf.numDocs, numDocs)
+	}
+	sh := &shard{numTerms: int(pf.numTerms)}
+	var err error
+	if sh.termOffs, err = pf.int64Sec(secTermOffs, sh.numTerms+1); err != nil {
+		return nil, err
+	}
+	if sh.termBlob, err = pf.sec(secTermBlob); err != nil {
+		return nil, err
+	}
+	if sh.numTerms > 0 && int(sh.termOffs[sh.numTerms]) != len(sh.termBlob) {
+		return nil, pf.corrupt("term blob is %d bytes, offsets end at %d", len(sh.termBlob), sh.termOffs[sh.numTerms])
+	}
+	if sh.idf, err = pf.float64Sec(secIDF, sh.numTerms); err != nil {
+		return nil, err
+	}
+	if sh.maxScore, err = pf.float64Sec(secMaxScore, sh.numTerms); err != nil {
+		return nil, err
+	}
+	if sh.df, err = pf.int32Sec(secDF, sh.numTerms); err != nil {
+		return nil, err
+	}
+	for f := 0; f < int(numFields); f++ {
+		if sh.off[f], err = pf.int32Sec(secFieldOff(f), sh.numTerms+1); err != nil {
+			return nil, err
+		}
+		count := int(sh.off[f][sh.numTerms])
+		if sh.docs[f], err = pf.int32Sec(secFieldDocs(f), count); err != nil {
+			return nil, err
+		}
+		if sh.wts[f], err = pf.float32Sec(secFieldWts(f), count); err != nil {
+			return nil, err
+		}
+	}
+	return sh, nil
+}
+
+// Close releases the file mappings of a disk-opened searcher. Hits, doc
+// IDs and doc sets returned earlier alias the mappings and must not be
+// used afterwards. Close on an in-memory searcher is a no-op.
+func (ss *ShardedSearcher) Close() error {
+	var first error
+	for _, c := range ss.closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ss.closers = nil
+	return first
+}
+
+// Len returns the number of indexed documents.
+func (ss *ShardedSearcher) Len() int { return ss.numDocs }
+
+// Shards returns the shard count.
+func (ss *ShardedSearcher) Shards() int { return ss.shardCount }
+
+// Mmapped reports whether the searcher aliases file mappings (as opposed
+// to heap-resident arrays).
+func (ss *ShardedSearcher) Mmapped() bool { return ss.mmapped }
+
+// NumTerms returns the total distinct terms across shards.
+func (ss *ShardedSearcher) NumTerms() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.numTerms
+	}
+	return n
+}
+
+// IDOf returns the table ID of an internal doc number. For disk-opened
+// searchers the string aliases the mapping (zero-copy).
+func (ss *ShardedSearcher) IDOf(doc int32) string {
+	if ss.ids != nil {
+		return ss.ids[doc]
+	}
+	return unsafeString(ss.idBlob[ss.idOffs[doc]:ss.idOffs[doc+1]])
+}
+
+// IDF returns the smoothed inverse document frequency of a token,
+// identical to Index.IDF: the per-term value was computed at freeze time,
+// and the unknown-token case recomputes the same smoothed formula.
+func (ss *ShardedSearcher) IDF(tok string) float64 {
+	if ss.numDocs == 0 {
+		return 1
+	}
+	sh := ss.shards[shardOfToken(tok, ss.shardCount)]
+	if ti, ok := sh.lookup(tok); ok {
+		return sh.idf[ti]
+	}
+	return math.Log(1 + float64(ss.numDocs))
+}
+
+// termRef is one resolved query term: its home shard and local term ID,
+// plus the token for canonical (lexicographic) ordering at gather time.
+type termRef struct {
+	tok string
+	sh  *shard
+	tid int32
+}
+
+// shardedScratch is the pooled per-probe state: the dense accumulator
+// (shared layout with the single-shard Searcher) plus the scatter-side
+// buffers (token dedup, per-shard token groups, resolved refs).
+type shardedScratch struct {
+	acc       accumulator
+	seen      map[string]bool
+	refs      []termRef
+	groups    [][]string
+	shardRefs [][]termRef
+}
+
+func (ss *ShardedSearcher) getScratch() *shardedScratch {
+	sc, _ := ss.pool.Get().(*shardedScratch)
+	if sc == nil {
+		sc = &shardedScratch{}
+	}
+	a := &sc.acc
+	if len(a.score) < ss.numDocs {
+		a.score = make([]float64, ss.numDocs)
+		a.gen = make([]uint32, ss.numDocs)
+		a.cur = 0
+	}
+	a.cur++
+	if a.cur == 0 { // generation counter wrapped: hard reset
+		clear(a.gen)
+		a.cur = 1
+	}
+	a.touched = a.touched[:0]
+	if sc.seen == nil {
+		sc.seen = make(map[string]bool, 16)
+	}
+	clear(sc.seen)
+	if len(sc.groups) != ss.shardCount {
+		sc.groups = make([][]string, ss.shardCount)
+		sc.shardRefs = make([][]termRef, ss.shardCount)
+	}
+	return sc
+}
+
+// prefetchSink defeats dead-code elimination of the page-prefault loads.
+var prefetchSink atomic.Uint64
+
+// resolve is the per-shard scatter step: look up each token in the
+// shard's term table and prefault its posting pages (one load per 4KiB),
+// so cold pages of different shards fault in concurrently instead of
+// serially inside the gather loop.
+func (sh *shard) resolve(toks []string, out []termRef) []termRef {
+	var touch uint64
+	for _, tok := range toks {
+		tid, ok := sh.lookup(tok)
+		if !ok {
+			continue
+		}
+		out = append(out, termRef{tok: tok, sh: sh, tid: tid})
+		for f := 0; f < int(numFields); f++ {
+			lo, hi := sh.off[f][tid], sh.off[f][tid+1]
+			for p := lo; p < hi; p += 1024 { // 1024 int32s per 4KiB page
+				touch += uint64(sh.docs[f][p]) + uint64(math.Float32bits(sh.wts[f][p]))
+			}
+			if hi > lo {
+				touch += uint64(sh.docs[f][hi-1])
+			}
+		}
+	}
+	if touch != 0 {
+		prefetchSink.Add(touch)
+	}
+	return out
+}
+
+// Search scores a union-of-keywords query and returns the top k hits (all
+// hits when k <= 0), bit-identical to the single-shard Searcher: the
+// scatter phase fans term resolution and page prefaulting out across
+// shards, and the gather phase accumulates in canonical lexicographic
+// term order with the same max-score admission skip, top-k selection and
+// tie-breaks. The skip block below is a deliberate copy of
+// Searcher.Search — keep both in lockstep.
+func (ss *ShardedSearcher) Search(tokens []string, k int) []Hit {
+	if len(tokens) == 0 || ss.numDocs == 0 {
+		return nil
+	}
+	sc := ss.getScratch()
+	defer ss.pool.Put(sc)
+
+	// Group unique tokens by home shard (the scatter input).
+	active := 0
+	for i := range sc.groups {
+		sc.groups[i] = sc.groups[i][:0]
+		sc.shardRefs[i] = sc.shardRefs[i][:0]
+	}
+	for _, tok := range tokens {
+		if sc.seen[tok] {
+			continue
+		}
+		sc.seen[tok] = true
+		g := shardOfToken(tok, ss.shardCount)
+		if len(sc.groups[g]) == 0 {
+			active++
+		}
+		sc.groups[g] = append(sc.groups[g], tok)
+	}
+
+	// Scatter: resolve and prefault each involved shard concurrently.
+	// Every goroutine writes only its own shardRefs slot.
+	if active > 1 {
+		var wg sync.WaitGroup
+		for g := range sc.groups {
+			if len(sc.groups[g]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				sc.shardRefs[g] = ss.shards[g].resolve(sc.groups[g], sc.shardRefs[g])
+			}(g)
+		}
+		wg.Wait()
+	} else {
+		for g := range sc.groups {
+			if len(sc.groups[g]) > 0 {
+				sc.shardRefs[g] = ss.shards[g].resolve(sc.groups[g], sc.shardRefs[g])
+			}
+		}
+	}
+	refs := sc.refs[:0]
+	for _, rs := range sc.shardRefs {
+		refs = append(refs, rs...)
+	}
+	sc.refs = refs
+	if len(refs) == 0 {
+		return nil
+	}
+	// Gather in canonical lexicographic term order — exactly the order the
+	// single-shard Searcher and the reference scorer accumulate in, so
+	// per-document float64 sums are bit-identical.
+	sort.Slice(refs, func(i, j int) bool { return refs[i].tok < refs[j].tok })
+
+	acc := &sc.acc
+	if cap(acc.suffix) < len(refs)+1 {
+		acc.suffix = make([]float64, len(refs)+1)
+	}
+	suffix := acc.suffix[:len(refs)+1]
+	acc.suffix = suffix
+	suffix[len(refs)] = 0
+	for i := len(refs) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + refs[i].sh.maxScore[refs[i].tid]
+	}
+
+	updateOnly := false
+	threshold := math.Inf(-1)
+	touchedAtThreshold := -1
+	for i, r := range refs {
+		if k > 0 && !updateOnly && len(acc.touched) >= k {
+			// Same admission bound as Searcher.Search: the kth largest
+			// partial score only grows, so once it clears what any unseen
+			// document could still reach, stop registering new candidates.
+			if threshold > suffix[i]+1e-9 {
+				updateOnly = true
+			} else if touchedAtThreshold < 0 || len(acc.touched) > touchedAtThreshold+touchedAtThreshold/4 {
+				threshold = acc.kthLargest(k)
+				touchedAtThreshold = len(acc.touched)
+				if threshold > suffix[i]+1e-9 {
+					updateOnly = true
+				}
+			}
+		}
+		idf := r.sh.idf[r.tid]
+		for f := 0; f < int(numFields); f++ {
+			lo, hi := r.sh.off[f][r.tid], r.sh.off[f][r.tid+1]
+			ds := r.sh.docs[f][lo:hi]
+			ws := r.sh.wts[f][lo:hi]
+			for j, d := range ds {
+				w := idf * float64(ws[j])
+				if acc.gen[d] == acc.cur {
+					acc.score[d] += w
+				} else if !updateOnly {
+					acc.gen[d] = acc.cur
+					acc.score[d] = w
+					acc.touched = append(acc.touched, d)
+				}
+			}
+		}
+	}
+	return ss.collect(acc, k)
+}
+
+// worseDoc mirrors Searcher.worseDoc over the shared doc table.
+func (ss *ShardedSearcher) worseDoc(acc *accumulator, a, b int32) bool {
+	sa, sb := acc.score[a], acc.score[b]
+	if sa != sb {
+		return sa < sb
+	}
+	return ss.IDOf(a) > ss.IDOf(b)
+}
+
+// collect mirrors Searcher.collect.
+func (ss *ShardedSearcher) collect(acc *accumulator, k int) []Hit {
+	if len(acc.touched) == 0 {
+		return nil
+	}
+	winners := acc.touched
+	if k > 0 {
+		winners = topKSelect(acc.touched, k, func(a, b int32) bool { return ss.worseDoc(acc, a, b) })
+	}
+	hits := make([]Hit, len(winners))
+	for i, d := range winners {
+		hits[i] = Hit{ID: ss.IDOf(d), Score: acc.score[d]}
+	}
+	sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
+	return hits
+}
+
+// termDocs mirrors Searcher.termDocs over one shard.
+func (sh *shard) termDocs(ti int32, fields []Field) []int32 {
+	var lists [int(numFields)][]int32
+	var used [int(numFields)]bool
+	n := 0
+	for _, f := range fields {
+		if used[f] {
+			continue
+		}
+		used[f] = true
+		lo, hi := sh.off[f][ti], sh.off[f][ti+1]
+		if lo < hi {
+			lists[n] = sh.docs[f][lo:hi]
+			n++
+		}
+	}
+	return mergeSortedDocLists(lists[:n])
+}
+
+// DocsWithToken returns the sorted doc set containing tok in any of the
+// given fields — equivalent to Searcher.DocsWithToken. A term's postings
+// live wholly in its home shard, and doc numbers are global, so no
+// cross-shard merge is needed.
+func (ss *ShardedSearcher) DocsWithToken(tok string, fields ...Field) []int32 {
+	if ss.numDocs == 0 {
+		return nil
+	}
+	sh := ss.shards[shardOfToken(tok, ss.shardCount)]
+	ti, ok := sh.lookup(tok)
+	if !ok {
+		return nil
+	}
+	return sh.termDocs(ti, fields)
+}
+
+// DocSet returns the sorted set of documents containing all tokens, each
+// in at least one of the given fields — equivalent to Searcher.DocSet.
+// Tokens resolve to their home shards; the intersection runs over global
+// doc numbers, rarest term first with lexicographic tie-breaks (the same
+// order the single-shard Searcher uses, whose term IDs are lexicographic
+// ranks).
+func (ss *ShardedSearcher) DocSet(tokens []string, fields ...Field) []int32 {
+	if ss.numDocs == 0 {
+		return nil
+	}
+	refs := make([]termRef, 0, len(tokens))
+	seen := make(map[string]bool, len(tokens))
+	for _, tok := range tokens {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		sh := ss.shards[shardOfToken(tok, ss.shardCount)]
+		ti, ok := sh.lookup(tok)
+		if !ok {
+			return nil // a token absent from the corpus empties the set
+		}
+		refs = append(refs, termRef{tok: tok, sh: sh, tid: ti})
+	}
+	if len(refs) == 0 {
+		return nil
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].sh.df[refs[i].tid] != refs[j].sh.df[refs[j].tid] {
+			return refs[i].sh.df[refs[i].tid] < refs[j].sh.df[refs[j].tid]
+		}
+		return refs[i].tok < refs[j].tok
+	})
+	set := refs[0].sh.termDocs(refs[0].tid, fields)
+	for _, r := range refs[1:] {
+		if len(set) == 0 {
+			return nil
+		}
+		set = intersectSorted(set, r.sh.termDocs(r.tid, fields))
+	}
+	return set
+}

@@ -1,0 +1,475 @@
+package index
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"wwt/internal/wtable"
+)
+
+// sameHitsBitIdentical is the strict form of sameHits: IDs, order AND exact
+// float64 score bits must match — the sharded gather accumulates in the
+// same operation order as the single-shard searcher, so == (not a
+// tolerance) is the contract.
+func sameHitsBitIdentical(t *testing.T, want, got []Hit, ctx string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: hit count %d != %d (want %v, got %v)", ctx, len(got), len(want), want, got)
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID {
+			t.Fatalf("%s: hit %d ID %q != %q", ctx, i, got[i].ID, want[i].ID)
+		}
+		if want[i].Score != got[i].Score {
+			t.Fatalf("%s: hit %d score %v != %v (bit-identity violated)", ctx, i, got[i].Score, want[i].Score)
+		}
+	}
+}
+
+// shardedVariants returns the three construction paths for n shards — pure
+// in-memory partitioning, the mmap-opened flat index, and the forced
+// read-into-memory fallback — with cleanup registered on t.
+func shardedVariants(t *testing.T, s *Searcher, n int) map[string]*ShardedSearcher {
+	t.Helper()
+	dir := t.TempDir()
+	if err := WriteSharded(dir, s, n); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm.Mmapped() {
+		t.Fatalf("OpenSharded did not map the files")
+	}
+	rd, err := openSharded(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mm.Close(); rd.Close() })
+	return map[string]*ShardedSearcher{
+		"memory": NewShardedFromSearcher(s, n),
+		"mmap":   mm,
+		"nommap": rd,
+	}
+}
+
+// TestShardedSearcherEquivalence: for every shard count, every construction
+// path must return hits bit-identical (IDs, scores, order) to the
+// single-shard Searcher across random queries and k values.
+func TestShardedSearcherEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 42, 2012} {
+		ix, _ := buildRandCorpus(t, seed, 2+rand.New(rand.NewSource(seed)).Intn(60))
+		s := NewSearcher(ix)
+		for _, n := range []int{1, 2, 3, 8} {
+			for name, ss := range shardedVariants(t, s, n) {
+				if ss.Shards() != n {
+					t.Fatalf("%s: Shards() = %d, want %d", name, ss.Shards(), n)
+				}
+				if ss.Len() != ix.Len() {
+					t.Fatalf("%s: Len() = %d, want %d", name, ss.Len(), ix.Len())
+				}
+				r := rand.New(rand.NewSource(seed + int64(n)))
+				for qi := 0; qi < 25; qi++ {
+					q := randQuery(r)
+					for _, k := range []int{0, 1, 3, 17, 1000} {
+						want := s.Search(q, k)
+						got := ss.Search(q, k)
+						sameHitsBitIdentical(t, want, got, name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSearcherSkipWithExactlyKTouched replays the PR 1 skip
+// regression corpus against every shard count: the first term touches
+// exactly k docs, and a document arriving after the skip threshold is set
+// must still enter the top k.
+func TestShardedSearcherSkipWithExactlyKTouched(t *testing.T) {
+	row := func(cells ...string) wtable.Row {
+		r := wtable.Row{}
+		for _, c := range cells {
+			r.Cells = append(r.Cells, wtable.Cell{Text: c})
+		}
+		return r
+	}
+	tables := []*wtable.Table{
+		{ID: "t0", HeaderRows: []wtable.Row{row("aaa")}, BodyRows: []wtable.Row{row("xxx")}},
+		{ID: "t1", BodyRows: []wtable.Row{row("aaa")}},
+		{ID: "t2", BodyRows: []wtable.Row{row("bbb")}},
+	}
+	ix, err := Build(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(ix)
+	q := []string{"aaa", "bbb"}
+	want := s.Search(q, 2)
+	for _, n := range []int{1, 2, 3, 8} {
+		for name, ss := range shardedVariants(t, s, n) {
+			got := ss.Search(q, 2)
+			sameHitsBitIdentical(t, want, got, name)
+			ids := map[string]bool{}
+			for _, h := range got {
+				ids[h.ID] = true
+			}
+			if !ids["t0"] || !ids["t2"] {
+				t.Fatalf("%s shards=%d: top-2 = %v, want t0 and t2", name, n, got)
+			}
+		}
+	}
+}
+
+// TestShardedDocSetEquivalence: DocsWithToken, DocSet and IDF must match
+// the single-shard Searcher for every shard count and construction path.
+func TestShardedDocSetEquivalence(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 4242, 40)
+	s := NewSearcher(ix)
+	fieldSets := [][]Field{
+		{FieldHeader}, {FieldContext}, {FieldContent},
+		{FieldHeader, FieldContext}, {FieldHeader, FieldContext, FieldContent},
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		for name, ss := range shardedVariants(t, s, n) {
+			r := rand.New(rand.NewSource(17))
+			for i := 0; i < 60; i++ {
+				toks := randQuery(r)
+				for _, fs := range fieldSets {
+					want := s.DocSet(toks, fs...)
+					got := ss.DocSet(toks, fs...)
+					if len(want) == 0 && len(got) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("%s shards=%d: DocSet(%v, %v) = %v, want %v", name, n, toks, fs, got, want)
+					}
+				}
+				tok := propWords[r.Intn(len(propWords))]
+				for _, fs := range fieldSets {
+					want := s.DocsWithToken(tok, fs...)
+					got := ss.DocsWithToken(tok, fs...)
+					if len(want) == 0 && len(got) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("%s shards=%d: DocsWithToken(%q, %v) = %v, want %v", name, n, tok, fs, got, want)
+					}
+				}
+				if got, want := ss.IDF(tok), s.IDF(tok); got != want {
+					t.Fatalf("%s shards=%d: IDF(%q) = %v, want %v", name, n, tok, got, want)
+				}
+				if got, want := ss.IDF("unknownword"), s.IDF("unknownword"); got != want {
+					t.Fatalf("%s shards=%d: unknown-token IDF = %v, want %v", name, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSearcherConcurrent: one mmap-opened sharded searcher must
+// serve goroutines concurrently with bit-identical results (run under
+// -race; the scatter goroutines cross shard boundaries here).
+func TestShardedSearcherConcurrent(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 777, 50)
+	s := NewSearcher(ix)
+	dir := t.TempDir()
+	if err := WriteSharded(dir, s, 4); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 150; i++ {
+				q := randQuery(r)
+				want := s.Search(q, 7)
+				got := ss.Search(q, 7)
+				if len(want) != len(got) {
+					t.Errorf("goroutine %d: %d hits, want %d", g, len(got), len(want))
+					return
+				}
+				for j := range want {
+					if want[j].ID != got[j].ID || want[j].Score != got[j].Score {
+						t.Errorf("goroutine %d: hit %d mismatch", g, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestShardedDocSetCache: the sharded cache must return the same sets as
+// the uncached source, expose per-shard counters that sum to the
+// aggregate, and canonicalize keys like the flat cache.
+func TestShardedDocSetCache(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 11, 30)
+	s := NewSearcher(ix)
+	ss := NewShardedFromSearcher(s, 4)
+	c := NewShardedDocSetCache(ss, 4, 0)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		toks := randQuery(r)
+		want := s.DocSet(toks, FieldHeader, FieldContext)
+		got := c.DocSet(toks, FieldHeader, FieldContext)
+		if len(want) != 0 || len(got) != 0 {
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("sharded cached DocSet(%v) = %v, want %v", toks, got, want)
+			}
+		}
+	}
+	toks := []string{propWords[0], propWords[1]}
+	first := c.DocSet(toks, FieldContent)
+	// Token order and duplicates must not change the key.
+	second := c.DocSet([]string{propWords[1], propWords[0], propWords[0]}, FieldContent)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("canonicalized repeat lookup differs")
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats = %d hits / %d misses, want both nonzero", hits, misses)
+	}
+	per := c.ShardStats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats has %d shards, want 4", len(per))
+	}
+	var sh, sm uint64
+	for _, st := range per {
+		sh += st.Hits
+		sm += st.Misses
+	}
+	if sh != hits || sm != misses {
+		t.Fatalf("per-shard counters sum to %d/%d, aggregate says %d/%d", sh, sm, hits, misses)
+	}
+	if c.Len() == 0 {
+		t.Fatalf("cache is empty after %d probes", misses)
+	}
+}
+
+// TestDocSetCacheWarmHitAllocs pins the docSetKey rewrite: a warm cache
+// hit's only allocation is the key string itself.
+func TestDocSetCacheWarmHitAllocs(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 5, 20)
+	s := NewSearcher(ix)
+	c := NewDocSetCache(s, 0)
+	toks := []string{propWords[3], propWords[1], propWords[1], propWords[0]}
+	c.DocSet(toks, FieldHeader, FieldContext) // warm
+	allocs := testing.AllocsPerRun(200, func() {
+		c.DocSet(toks, FieldHeader, FieldContext)
+	})
+	if allocs > 1 {
+		t.Fatalf("warm hit does %.1f allocs/op, want <= 1 (the key string)", allocs)
+	}
+}
+
+// writeShardedDir builds a small corpus and writes an n-shard flat index,
+// returning the directory and the frozen searcher it came from.
+func writeShardedDir(t *testing.T, n int) (string, *Searcher) {
+	t.Helper()
+	ix, _ := buildRandCorpus(t, 99, 12)
+	s := NewSearcher(ix)
+	dir := t.TempDir()
+	if err := WriteSharded(dir, s, n); err != nil {
+		t.Fatal(err)
+	}
+	return dir, s
+}
+
+// expectOpenError asserts OpenSharded fails mentioning want.
+func expectOpenError(t *testing.T, dir, want string) {
+	t.Helper()
+	ss, err := OpenSharded(dir)
+	if err == nil {
+		ss.Close()
+		t.Fatalf("OpenSharded succeeded, want error mentioning %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("OpenSharded error %q does not mention %q", err, want)
+	}
+}
+
+// TestOpenShardedErrors: every corruption mode must fail with a precise,
+// actionable message — and a directory without a flat index must wrap
+// fs.ErrNotExist so callers can fall back to the gob path.
+func TestOpenShardedErrors(t *testing.T) {
+	t.Run("missing", func(t *testing.T) {
+		_, err := OpenSharded(t.TempDir())
+		if !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("error %v does not wrap fs.ErrNotExist", err)
+		}
+	})
+	t.Run("missing shard file", func(t *testing.T) {
+		dir, _ := writeShardedDir(t, 2)
+		if err := os.Remove(filepath.Join(dir, shardFileName(1))); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "shard file postings-001.wwt missing")
+		if _, err := OpenSharded(dir); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("missing shard error %v does not wrap fs.ErrNotExist", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		dir, _ := writeShardedDir(t, 1)
+		if err := os.Truncate(filepath.Join(dir, DocsFileName), 10); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "smaller than")
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		dir, _ := writeShardedDir(t, 1)
+		if err := os.WriteFile(filepath.Join(dir, DocsFileName), []byte("PNG-DATA-and-then-some-more-bytes-padding-it-out-past-the-header"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "bad magic")
+	})
+	t.Run("newer version", func(t *testing.T) {
+		dir, _ := writeShardedDir(t, 1)
+		path := filepath.Join(dir, DocsFileName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[8] = 99 // version field
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "version 99")
+	})
+	t.Run("gob file as flat index", func(t *testing.T) {
+		dir, _ := writeShardedDir(t, 1)
+		ix, _ := buildRandCorpus(t, 1, 3)
+		if err := ix.Save(filepath.Join(dir, DocsFileName)); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "gob index snapshot")
+	})
+	t.Run("kind mix-up", func(t *testing.T) {
+		dir, _ := writeShardedDir(t, 1)
+		postings, err := os.ReadFile(filepath.Join(dir, shardFileName(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, DocsFileName), postings, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "want doc table")
+	})
+	t.Run("mixed builds", func(t *testing.T) {
+		// A shard file from a 3-shard build dropped into a 2-shard
+		// directory must be rejected by the header cross-check.
+		dir, s := writeShardedDir(t, 2)
+		other := t.TempDir()
+		if err := WriteSharded(other, s, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(filepath.Join(other, shardFileName(1)), filepath.Join(dir, shardFileName(1))); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "different builds")
+	})
+}
+
+// TestGobHeaderErrors: the gob snapshots' magic/version headers must
+// diagnose mix-ups and stale files precisely.
+func TestGobHeaderErrors(t *testing.T) {
+	dir := t.TempDir()
+	ix, tables := buildRandCorpus(t, 7, 5)
+	st := NewStore()
+	for _, tb := range tables {
+		if err := st.Add(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ixPath := filepath.Join(dir, "index.gob")
+	stPath := filepath.Join(dir, "store.gob")
+	if err := ix.Save(ixPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(stPath); err != nil {
+		t.Fatal(err)
+	}
+
+	expect := func(t *testing.T, err error, want string) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("load succeeded, want error mentioning %q", want)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	t.Run("round trip", func(t *testing.T) {
+		if _, err := Load(ixPath); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadStore(stPath); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("store to Load", func(t *testing.T) {
+		_, err := Load(stPath)
+		expect(t, err, "wwt table store")
+	})
+	t.Run("index to LoadStore", func(t *testing.T) {
+		_, err := LoadStore(ixPath)
+		expect(t, err, "wwt index snapshot")
+	})
+	t.Run("flat file to Load", func(t *testing.T) {
+		flatDir, _ := writeShardedDir(t, 1)
+		_, err := Load(filepath.Join(flatDir, DocsFileName))
+		expect(t, err, "flat sharded index")
+	})
+	t.Run("legacy headerless gob", func(t *testing.T) {
+		// A pre-versioning snapshot starts with gob's own framing, not our
+		// magic.
+		legacy := filepath.Join(dir, "legacy.gob")
+		data, err := os.ReadFile(ixPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(legacy, data[12:], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Load(legacy)
+		expect(t, err, "rebuild with wwt-index")
+	})
+	t.Run("newer gob version", func(t *testing.T) {
+		data, err := os.ReadFile(ixPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[8] = 42
+		newer := filepath.Join(dir, "newer.gob")
+		if err := os.WriteFile(newer, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Load(newer)
+		expect(t, err, "format version 42")
+	})
+	t.Run("truncated", func(t *testing.T) {
+		short := filepath.Join(dir, "short.gob")
+		if err := os.WriteFile(short, []byte("WWT"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(short)
+		expect(t, err, "too short")
+	})
+}

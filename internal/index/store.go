@@ -1,12 +1,51 @@
 package index
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 
 	"wwt/internal/wtable"
 )
+
+// writeGobHeader prefixes a gob snapshot with its 8-byte magic and uint32
+// format version, so a later open of a stale or foreign file fails fast
+// with a clear error instead of a decoder error deep in the stack.
+func writeGobHeader(w io.Writer, magic string) error {
+	var hdr [12]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:], gobFormatVersion)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// checkGobHeader validates the magic+version header of a gob snapshot,
+// diagnosing the common mix-ups precisely: the sibling gob kind, a flat
+// index file, a pre-versioning legacy file, or foreign data.
+func checkGobHeader(r io.Reader, magic, what, path string) error {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%s load %s: file too short for a format header (not a wwt %s file, or written before format versioning — rebuild with wwt-index)", what, path, what)
+	}
+	if got := string(hdr[:8]); got != magic {
+		switch got {
+		case flatMagic:
+			return fmt.Errorf("%s load %s: this is a flat sharded index file; open its directory with index.OpenSharded instead", what, path)
+		case gobIndexMagic:
+			return fmt.Errorf("%s load %s: this is a wwt index snapshot, not a %s; open it with index.Load", what, path, what)
+		case gobStoreMagic:
+			return fmt.Errorf("%s load %s: this is a wwt table store, not a %s; open it with index.LoadStore", what, path, what)
+		}
+		return fmt.Errorf("%s load %s: bad magic %q — not a wwt %s file, or written before format versioning; rebuild with wwt-index", what, path, got, what)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != gobFormatVersion {
+		return fmt.Errorf("%s load %s: format version %d, this build supports %d; rebuild with wwt-index", what, path, v, gobFormatVersion)
+	}
+	return nil
+}
 
 // Store is the table store of Figure 2: it keeps the raw extracted tables
 // addressable by ID so that the online pipeline can read the candidates a
@@ -56,28 +95,41 @@ type storeSnapshot struct {
 	Tables []*wtable.Table
 }
 
-// Save writes the store to path.
+// Save writes the store to path, prefixed with its magic and format
+// version.
 func (s *Store) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("store save: %w", err)
 	}
 	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(storeSnapshot{Tables: s.All()}); err != nil {
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeGobHeader(w, gobStoreMagic); err != nil {
+		return fmt.Errorf("store save: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(storeSnapshot{Tables: s.All()}); err != nil {
+		return fmt.Errorf("store save: %w", err)
+	}
+	if err := w.Flush(); err != nil {
 		return fmt.Errorf("store save: %w", err)
 	}
 	return f.Close()
 }
 
-// LoadStore reads a store previously written by Save.
+// LoadStore reads a store previously written by Save, validating the
+// format header first.
 func LoadStore(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store load: %w", err)
 	}
 	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	if err := checkGobHeader(r, gobStoreMagic, "store", path); err != nil {
+		return nil, err
+	}
 	var snap storeSnapshot
-	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("store load: %w", err)
 	}
 	s := NewStore()
@@ -97,29 +149,42 @@ type indexSnapshot struct {
 	DF       map[string]int
 }
 
-// Save writes the index to path.
+// Save writes the index to path, prefixed with its magic and format
+// version.
 func (ix *Index) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("index save: %w", err)
 	}
 	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeGobHeader(w, gobIndexMagic); err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
 	snap := indexSnapshot{IDs: ix.ids, Postings: ix.postings, FieldLen: ix.fieldLen, DF: ix.df}
-	if err := gob.NewEncoder(f).Encode(snap); err != nil {
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
+	if err := w.Flush(); err != nil {
 		return fmt.Errorf("index save: %w", err)
 	}
 	return f.Close()
 }
 
-// Load reads an index previously written by Save.
+// Load reads an index previously written by Save, validating the format
+// header first.
 func Load(path string) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index load: %w", err)
 	}
 	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	if err := checkGobHeader(r, gobIndexMagic, "index", path); err != nil {
+		return nil, err
+	}
 	var snap indexSnapshot
-	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("index load: %w", err)
 	}
 	ix := &Index{

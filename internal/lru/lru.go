@@ -86,6 +86,23 @@ func (c *Cache[K, V]) Get(key K, compute func() V) V {
 	return v
 }
 
+// Cached returns the value for key if present, refreshing its recency and
+// counting a hit. A lookup miss counts nothing — pair Cached with Get,
+// which counts the miss on the compute path. The point of the split is
+// allocation-free warm hits: Get's compute closure captures its inputs and
+// so heap-allocates even when never called, while Cached takes no closure.
+func (c *Cache[K, V]) Cached(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Stats reports cumulative hit/miss counts.
 func (c *Cache[K, V]) Stats() (hits, misses uint64) {
 	c.mu.Lock()

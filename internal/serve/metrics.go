@@ -127,5 +127,12 @@ func (m *metrics) render(now time.Time, inFlight, queued, capacity int, cache ww
 		fmt.Fprintf(&b, "wwt_cache_misses_total{cache=%q} %d\n", name, st.Misses)
 		fmt.Fprintf(&b, "wwt_cache_hit_rate{cache=%q} %.4f\n", name, st.HitRate())
 	}
+	// Sharded engines additionally break the doc-set cache down per shard,
+	// so a cold or thrashing shard is visible in isolation.
+	for i, st := range cache.DocSetShards {
+		fmt.Fprintf(&b, "wwt_cache_hits_total{cache=\"doc_sets\",shard=\"%d\"} %d\n", i, st.Hits)
+		fmt.Fprintf(&b, "wwt_cache_misses_total{cache=\"doc_sets\",shard=\"%d\"} %d\n", i, st.Misses)
+		fmt.Fprintf(&b, "wwt_cache_hit_rate{cache=\"doc_sets\",shard=\"%d\"} %.4f\n", i, st.HitRate())
+	}
 	return b.String()
 }

@@ -163,16 +163,34 @@ func (r *Result) Release() {
 // searcher, the PMI doc-set and table-view caches are concurrency-safe,
 // and every in-flight query draws its own scratch arena from the pool.
 type Engine struct {
+	// Index is the mutable build-time index. It is nil for engines opened
+	// from a flat on-disk index (NewEngineFromSharded), whose statistics
+	// come from the sharded searcher instead.
 	Index *index.Index
 	Store *index.Store
 	Opts  Options
 
 	searcher *index.Searcher
-	docsets  *index.DocSetCache
+	sharded  *index.ShardedSearcher
+	stats    core.CorpusStats
+	docsets  docSetCache
 	views    *core.ViewCache
 	pairs    *core.PairSimCache
 	norm     *text.NormCache
 	scratch  sync.Pool // *QueryScratch
+}
+
+// docSetSource is the doc-set probe surface shared by Index, Searcher and
+// ShardedSearcher.
+type docSetSource interface {
+	DocSet(tokens []string, fields ...index.Field) []int32
+}
+
+// docSetCache is a doc-set source with hit/miss counters — the engine's
+// PMI cache, single-shard or sharded.
+type docSetCache interface {
+	docSetSource
+	Stats() (hits, misses uint64)
 }
 
 // NewEngine indexes the given tables and returns a ready engine. opts may
@@ -209,6 +227,7 @@ func NewEngineFrom(ix *index.Index, st *index.Store, opts *Options) *Engine {
 		Store:    st,
 		Opts:     o,
 		searcher: s,
+		stats:    ix,
 		docsets:  index.NewDocSetCache(s, 0),
 		views:    core.NewViewCache(),
 		pairs:    core.NewPairSimCache(0),
@@ -216,12 +235,55 @@ func NewEngineFrom(ix *index.Index, st *index.Store, opts *Options) *Engine {
 	}
 }
 
-// Searcher returns the engine's frozen flat searcher.
+// NewEngineFromSharded wraps an opened flat sharded index (OpenSharded)
+// and a table store. The engine has no mutable Index (Engine.Index is
+// nil): corpus statistics, probes and PMI doc sets all come from the
+// sharded searcher, whose arrays alias the file mappings — the index
+// directory must outlive the engine, and the searcher must not be Closed
+// while the engine is in use. The PMI doc-set cache is partitioned per
+// index shard; per-shard counters surface through CacheStats.
+func NewEngineFromSharded(ss *index.ShardedSearcher, st *index.Store, opts *Options) *Engine {
+	o := DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	return &Engine{
+		Store:   st,
+		Opts:    o,
+		sharded: ss,
+		stats:   ss,
+		docsets: index.NewShardedDocSetCache(ss, ss.Shards(), 0),
+		views:   core.NewViewCache(),
+		pairs:   core.NewPairSimCache(0),
+		norm:    text.NewNormCache(0),
+	}
+}
+
+// Searcher returns the engine's frozen flat searcher (nil for sharded
+// engines).
 func (e *Engine) Searcher() *index.Searcher { return e.searcher }
 
-// search probes the frozen searcher, falling back to the map-based scorer
-// for zero-value engines constructed without NewEngine/NewEngineFrom.
+// Sharded returns the engine's sharded searcher (nil for single-shard
+// engines).
+func (e *Engine) Sharded() *index.ShardedSearcher { return e.sharded }
+
+// Close releases the engine's file mappings, if it was opened from a flat
+// on-disk index. The engine (and any strings or doc sets it returned) must
+// not be used afterwards. Close is a no-op for in-memory engines.
+func (e *Engine) Close() error {
+	if e.sharded != nil {
+		return e.sharded.Close()
+	}
+	return nil
+}
+
+// search probes the sharded searcher when present, then the frozen
+// single-shard searcher, falling back to the map-based scorer for
+// zero-value engines constructed without a New* constructor.
 func (e *Engine) search(tokens []string, k int) []index.Hit {
+	if e.sharded != nil {
+		return e.sharded.Search(tokens, k)
+	}
 	if e.searcher != nil {
 		return e.searcher.Search(tokens, k)
 	}
@@ -232,7 +294,11 @@ func (e *Engine) search(tokens []string, k int) []index.Hit {
 // cached PMI doc sets, shared table-view cache and cross-query pair-
 // similarity cache.
 func (e *Engine) builder() *core.Builder {
-	return &core.Builder{Params: e.Opts.Params, Stats: e.Index, PMI: e.PMISource(), Views: e.views, Pairs: e.pairs}
+	stats := e.stats
+	if stats == nil {
+		stats = e.Index // zero-value engines
+	}
+	return &core.Builder{Params: e.Opts.Params, Stats: stats, PMI: e.PMISource(), Views: e.views, Pairs: e.pairs}
 }
 
 // CacheStats is a point-in-time snapshot of one cache's cumulative
@@ -253,12 +319,16 @@ func (s CacheStats) HitRate() float64 {
 // EngineCacheStats snapshots the four cross-query caches an engine owns:
 // analyzed table views, per-pair column similarities, PMI doc sets, and
 // normalized cell strings. The serving daemon's /metrics endpoint exports
-// these; counters are cumulative since engine construction.
+// these; counters are cumulative since engine construction. For sharded
+// engines, DocSetShards additionally breaks the doc-set counters down per
+// cache shard (DocSets stays the aggregate).
 type EngineCacheStats struct {
 	Views     CacheStats
 	PairSims  CacheStats
 	DocSets   CacheStats
 	NormCells CacheStats
+
+	DocSetShards []CacheStats
 }
 
 // CacheStats snapshots the engine's cross-query cache counters. Safe for
@@ -274,6 +344,11 @@ func (e *Engine) CacheStats() EngineCacheStats {
 	}
 	if e.docsets != nil {
 		st.DocSets.Hits, st.DocSets.Misses = e.docsets.Stats()
+		if sc, ok := e.docsets.(interface{ ShardStats() []index.CacheCounters }); ok {
+			for _, c := range sc.ShardStats() {
+				st.DocSetShards = append(st.DocSetShards, CacheStats{Hits: c.Hits, Misses: c.Misses})
+			}
+		}
 	}
 	if e.norm != nil {
 		st.NormCells.Hits, st.NormCells.Misses = e.norm.Stats()
@@ -282,32 +357,28 @@ func (e *Engine) CacheStats() EngineCacheStats {
 }
 
 // PMISource exposes the engine's index as the co-occurrence source for the
-// PMI² feature. Doc-set probes go through the engine's LRU cache, so
-// repeated H(Qℓ) and B(cell) intersections within and across queries are
-// served from memory. The returned doc sets are the cache's backing
-// slices: callers must treat them as read-only (mutating one corrupts the
-// cache for every later query).
+// PMI² feature. Doc-set probes go through the engine's LRU cache (sharded
+// for sharded engines), so repeated H(Qℓ) and B(cell) intersections within
+// and across queries are served from memory. The returned doc sets are the
+// cache's backing slices: callers must treat them as read-only (mutating
+// one corrupts the cache for every later query).
 func (e *Engine) PMISource() core.PMISource {
-	return indexPMI{ix: e.Index, cache: e.docsets}
-}
-
-type indexPMI struct {
-	ix    *index.Index
-	cache *index.DocSetCache
-}
-
-func (s indexPMI) HeaderContextDocs(tokens []string) []int32 {
-	if s.cache != nil {
-		return s.cache.DocSet(tokens, index.FieldHeader, index.FieldContext)
+	if e.docsets != nil {
+		return pmiSource{src: e.docsets}
 	}
-	return s.ix.DocSet(tokens, index.FieldHeader, index.FieldContext)
+	return pmiSource{src: e.Index} // zero-value engines: uncached
 }
 
-func (s indexPMI) ContentDocs(tokens []string) []int32 {
-	if s.cache != nil {
-		return s.cache.DocSet(tokens, index.FieldContent)
-	}
-	return s.ix.DocSet(tokens, index.FieldContent)
+type pmiSource struct {
+	src docSetSource
+}
+
+func (s pmiSource) HeaderContextDocs(tokens []string) []int32 {
+	return s.src.DocSet(tokens, index.FieldHeader, index.FieldContext)
+}
+
+func (s pmiSource) ContentDocs(tokens []string) []int32 {
+	return s.src.DocSet(tokens, index.FieldContent)
 }
 
 // sampleRows draws take distinct row indices from [0, rows) with a sparse
