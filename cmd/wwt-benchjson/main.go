@@ -26,6 +26,11 @@ type benchLine struct {
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+
+	// Extra carries custom b.ReportMetric units (p99-ns, elide-rate, ...)
+	// keyed by unit name, so scheduler/planner benchmarks survive the
+	// conversion without the parser learning each new unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type trajectory struct {
@@ -110,6 +115,11 @@ func parseBenchLine(line string) (benchLine, bool) {
 			bl.AllocsPerOp = ptr(v)
 		case "MB/s":
 			bl.MBPerSec = ptr(v)
+		default:
+			if bl.Extra == nil {
+				bl.Extra = make(map[string]float64)
+			}
+			bl.Extra[f[i+1]] = v
 		}
 	}
 	return bl, seen

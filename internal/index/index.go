@@ -142,6 +142,21 @@ func (ix *Index) DocOf(id string) (int32, bool) {
 
 // IDF returns the smoothed inverse document frequency of a token over the
 // whole corpus (union of fields): log(1 + N/(1+df)).
+// TermStats returns a token's union document frequency and total posting
+// entries across all fields — the map-based equivalent of
+// Searcher.TermStats, for engines that never froze their index. Unknown
+// tokens report ok=false.
+func (ix *Index) TermStats(tok string) (df int32, postings int, ok bool) {
+	d, ok := ix.df[tok]
+	if !ok {
+		return 0, 0, false
+	}
+	for f := 0; f < int(numFields); f++ {
+		postings += len(ix.postings[f][tok])
+	}
+	return int32(d), postings, true
+}
+
 func (ix *Index) IDF(tok string) float64 {
 	n := len(ix.ids)
 	if n == 0 {

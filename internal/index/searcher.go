@@ -146,6 +146,21 @@ func (s *Searcher) IDF(tok string) float64 {
 // IDOf returns the table ID of an internal doc number.
 func (s *Searcher) IDOf(doc int32) string { return s.ids[doc] }
 
+// TermStats returns a token's union document frequency and total posting
+// entries across all fields — the cost-model features a query planner
+// reads before probing. Both are O(1) reads off the frozen CSR arrays;
+// unknown tokens report ok=false.
+func (s *Searcher) TermStats(tok string) (df int32, postings int, ok bool) {
+	ti, ok := s.terms[tok]
+	if !ok {
+		return 0, 0, false
+	}
+	for f := 0; f < int(numFields); f++ {
+		postings += int(s.off[f][ti+1] - s.off[f][ti])
+	}
+	return s.df[ti], postings, true
+}
+
 // accumulator is the per-query scratch of a search: a dense score array
 // whose entries are valid only when their generation tag matches cur, the
 // list of touched docs, reusable heap scratch for threshold and top-k

@@ -389,6 +389,22 @@ func (ss *ShardedSearcher) IDF(tok string) float64 {
 	return math.Log(1 + float64(ss.numDocs))
 }
 
+// TermStats returns a token's union document frequency and total posting
+// entries across all fields, read from the token's home shard — identical
+// to Searcher.TermStats at every shard count. Unknown tokens report
+// ok=false.
+func (ss *ShardedSearcher) TermStats(tok string) (df int32, postings int, ok bool) {
+	sh := ss.shards[shardOfToken(tok, ss.shardCount)]
+	ti, ok := sh.lookup(tok)
+	if !ok {
+		return 0, 0, false
+	}
+	for f := 0; f < int(numFields); f++ {
+		postings += int(sh.off[f][ti+1] - sh.off[f][ti])
+	}
+	return sh.df[ti], postings, true
+}
+
 // termRef is one resolved query term: its home shard and local term ID,
 // plus the token for canonical (lexicographic) ordering at gather time.
 type termRef struct {

@@ -473,3 +473,39 @@ func TestGobHeaderErrors(t *testing.T) {
 		expect(t, err, "too short")
 	})
 }
+
+// TestTermStatsEquivalence: the planner's cost features (df, total posting
+// entries) must read identically from the mutable Index, the frozen
+// Searcher, and every sharded construction path at every shard count.
+func TestTermStatsEquivalence(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 2012, 40)
+	s := NewSearcher(ix)
+	for _, n := range []int{1, 2, 3, 8} {
+		for name, ss := range shardedVariants(t, s, n) {
+			for _, tok := range s.names {
+				wdf, wpost, wok := ix.TermStats(tok)
+				sdf, spost, sok := s.TermStats(tok)
+				gdf, gpost, gok := ss.TermStats(tok)
+				if !wok || !sok || !gok {
+					t.Fatalf("%s shards=%d: token %q ok = (%v,%v,%v), want all true", name, n, tok, wok, sok, gok)
+				}
+				if wdf != sdf || wdf != gdf || wpost != spost || wpost != gpost {
+					t.Fatalf("%s shards=%d: token %q stats (%d,%d)/(%d,%d)/(%d,%d) disagree",
+						name, n, tok, wdf, wpost, sdf, spost, gdf, gpost)
+				}
+				if wpost < int(wdf) {
+					t.Fatalf("token %q: %d posting entries < df %d", tok, wpost, wdf)
+				}
+			}
+			if _, _, ok := ss.TermStats("zzz-no-such-token"); ok {
+				t.Fatalf("%s shards=%d: unknown token reported ok", name, n)
+			}
+		}
+	}
+	if _, _, ok := ix.TermStats("zzz-no-such-token"); ok {
+		t.Fatal("Index: unknown token reported ok")
+	}
+	if _, _, ok := s.TermStats("zzz-no-such-token"); ok {
+		t.Fatal("Searcher: unknown token reported ok")
+	}
+}

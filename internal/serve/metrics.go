@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wwt"
+	"wwt/internal/plan"
 )
 
 // qpsWindow is the span of the live throughput window reported as
@@ -30,6 +31,12 @@ type metrics struct {
 	stage   map[string]time.Duration // cumulative per-stage time
 	wall    time.Duration            // cumulative batch wall time
 	buckets [qpsWindow]qpsBucket     // answered-query completions per second
+
+	// hold is the decayed average wall time a request holds its worker
+	// slots — the wave length behind the 429 Retry-After drain estimate.
+	// Deliberately faster-decaying than the cost model (load shifts
+	// faster than per-stage costs do).
+	hold *plan.EWMA
 }
 
 type qpsBucket struct {
@@ -38,7 +45,13 @@ type qpsBucket struct {
 }
 
 func newMetrics(now time.Time) *metrics {
-	return &metrics{start: now, stage: make(map[string]time.Duration)}
+	return &metrics{start: now, stage: make(map[string]time.Duration), hold: plan.NewEWMA(0.2)}
+}
+
+// holdAvg returns the decayed average slot-hold time (0 before the first
+// completed batch).
+func (m *metrics) holdAvg() time.Duration {
+	return time.Duration(m.hold.Value())
 }
 
 // recordBatch folds one executed batch into the counters.
@@ -53,6 +66,7 @@ func (m *metrics) recordBatch(bt wwt.BatchTimings, now time.Time) {
 		m.stage[s.Name] += s.D
 	}
 	m.wall += bt.Wall
+	m.hold.Observe(float64(bt.Wall))
 	sec := now.Unix()
 	b := &m.buckets[sec%qpsWindow]
 	if b.sec != sec {
@@ -90,7 +104,7 @@ func (m *metrics) qpsLocked(now time.Time) float64 {
 
 // render writes the Prometheus text exposition. Stage lines follow
 // pipeline order; cache lines are sorted by name.
-func (m *metrics) render(now time.Time, inFlight, queued, capacity int, cache wwt.EngineCacheStats) string {
+func (m *metrics) render(now time.Time, inFlight, queued, capacity int, cache wwt.EngineCacheStats, ps wwt.PlanStats, drain time.Duration) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -106,6 +120,15 @@ func (m *metrics) render(now time.Time, inFlight, queued, capacity int, cache ww
 	put("wwt_inflight_capacity", capacity)
 	put("wwt_queued_workers", queued)
 	put("wwt_batch_wall_seconds_total", fmt.Sprintf("%.6f", m.wall.Seconds()))
+	// Adaptive-planner lever counters and cost-model quality: elision and
+	// degradation totals, the estimator's decayed |est−actual|/actual
+	// relative error, whether estimates are calibrated at all, and the
+	// current estimated queue-drain time (the 429 Retry-After signal).
+	put("wwt_plan_probe2_elided_total", ps.Probe2Elided)
+	put("wwt_plan_degraded_total", ps.Degraded)
+	put("wwt_plan_cost_error", fmt.Sprintf("%.4f", ps.CostError))
+	put("wwt_plan_calibrated", boolGauge(ps.Calibrated))
+	put("wwt_plan_queue_drain_seconds", fmt.Sprintf("%.3f", drain.Seconds()))
 	// Per-stage cumulative latency, in the pipeline's own stage order.
 	for _, s := range (wwt.Timings{}).Stages() {
 		fmt.Fprintf(&b, "wwt_stage_seconds_total{stage=%q} %.6f\n", s.Name, m.stage[s.Name].Seconds())
@@ -135,4 +158,12 @@ func (m *metrics) render(now time.Time, inFlight, queued, capacity int, cache ww
 		fmt.Fprintf(&b, "wwt_cache_hit_rate{cache=\"doc_sets\",shard=\"%d\"} %.4f\n", i, st.HitRate())
 	}
 	return b.String()
+}
+
+// boolGauge renders a boolean as a 0/1 Prometheus gauge value.
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }

@@ -10,17 +10,22 @@ import (
 	"time"
 
 	"wwt"
+	"wwt/internal/plan"
 )
 
 // Backend is the engine surface the server drives. *wwt.Engine implements
 // it; tests substitute stubs. Implementations must be safe for concurrent
 // calls.
 type Backend interface {
-	// AnswerBatchCtx answers queries under ctx with a per-member deadline;
-	// see wwt.Engine.AnswerBatchCtx for the slot/error contract.
-	AnswerBatchCtx(ctx context.Context, queries []wwt.Query, workers int, perQuery time.Duration) *wwt.BatchResult
+	// AnswerBatchPlan answers queries under ctx with a per-member deadline
+	// and a batch plan (member schedule + planner lever overrides); see
+	// wwt.Engine.AnswerBatchPlan for the slot/error contract.
+	AnswerBatchPlan(ctx context.Context, queries []wwt.Query, workers int, perQuery time.Duration, bp wwt.BatchPlan) *wwt.BatchResult
 	// CacheStats snapshots the engine's cross-query cache counters.
 	CacheStats() wwt.EngineCacheStats
+	// PlanStats snapshots the adaptive planner's lever counters and
+	// cost-model error.
+	PlanStats() wwt.PlanStats
 }
 
 // Config tunes the server. The zero value serves with sane defaults.
@@ -45,6 +50,9 @@ type Config struct {
 	// MaxBatchSize bounds members per request (<= 0: 256); larger
 	// requests are rejected with 413.
 	MaxBatchSize int
+	// DefaultSchedule is the batch member dispatch order used when a
+	// request doesn't set "schedule" (zero value: FIFO).
+	DefaultSchedule wwt.Schedule
 }
 
 func (c Config) withDefaults() Config {
@@ -106,11 +114,26 @@ func New(backend Backend, cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // answerRequest is the POST /v1/answer body. Exactly one of Columns
-// (single query) or Queries (batch) must be set.
+// (single query) or Queries (batch) must be set. Schedule and Planner are
+// per-request planner knobs: schedule picks the batch dispatch order
+// ("fifo", "sjf", "deadline"; empty = server default) and planner
+// overrides the engine's planner levers for this request only.
 type answerRequest struct {
-	Columns   []string   `json:"columns,omitempty"`
-	Queries   []queryDTO `json:"queries,omitempty"`
-	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+	Columns   []string    `json:"columns,omitempty"`
+	Queries   []queryDTO  `json:"queries,omitempty"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	Schedule  string      `json:"schedule,omitempty"`
+	Planner   *plannerDTO `json:"planner,omitempty"`
+}
+
+// plannerDTO mirrors wwt.PlannerOptions on the wire. A present planner
+// object replaces the engine's levers wholesale for the request (absent
+// fields fall back to the lever defaults, not the engine's settings).
+type plannerDTO struct {
+	ElideProbe2      bool    `json:"elide_probe2,omitempty"`
+	ElideConfidence  float64 `json:"elide_confidence,omitempty"`
+	DeadlineDegrade  bool    `json:"deadline_degrade,omitempty"`
+	DegradeMaxTables int     `json:"degrade_max_tables,omitempty"`
 }
 
 type queryDTO struct {
@@ -129,8 +152,11 @@ type memberDTO struct {
 	Tables     int      `json:"tables"`
 	Relevant   int      `json:"relevant"`
 	UsedProbe2 bool     `json:"used_probe2"`
-	TotalUS    int64    `json:"total_us"`
-	Error      string   `json:"error,omitempty"`
+	// Degraded reports the planner degraded this member (capped tables,
+	// independent inference) to beat its deadline.
+	Degraded bool   `json:"degraded,omitempty"`
+	TotalUS  int64  `json:"total_us"`
+	Error    string `json:"error,omitempty"`
 }
 
 // batchDTO is the batch response: Results is index-aligned with the
@@ -185,6 +211,24 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	sched := s.cfg.DefaultSchedule
+	if req.Schedule != "" {
+		var err error
+		if sched, err = wwt.ParseSchedule(req.Schedule); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDTO{Error: err.Error()})
+			return
+		}
+	}
+	bp := wwt.BatchPlan{Schedule: sched}
+	if req.Planner != nil {
+		bp.Planner = &wwt.PlannerOptions{
+			ElideProbe2:      req.Planner.ElideProbe2,
+			ElideConfidence:  req.Planner.ElideConfidence,
+			DeadlineDegrade:  req.Planner.DeadlineDegrade,
+			DegradeMaxTables: req.Planner.DegradeMaxTables,
+		}
+	}
+
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		// Clamp in integer milliseconds before converting: a huge
@@ -206,7 +250,8 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if err := s.adm.acquire(r.Context(), weight); err != nil {
 		if errors.Is(err, errOverloaded) {
 			s.met.recordShed(len(queries))
-			w.Header().Set("Retry-After", retryAfter(timeout))
+			inFlight, queued, capacity := s.adm.snapshot()
+			w.Header().Set("Retry-After", s.retryAfter(inFlight+queued, weight, capacity))
 			writeJSON(w, http.StatusTooManyRequests, errorDTO{Error: "server overloaded, retry later"})
 			return
 		}
@@ -217,7 +262,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.adm.release(weight)
 
-	br := s.backend.AnswerBatchCtx(r.Context(), queries, s.cfg.Workers, timeout)
+	br := s.backend.AnswerBatchPlan(r.Context(), queries, s.cfg.Workers, timeout, bp)
 	s.met.recordBatch(br.Timings, time.Now())
 	// Serialize, then hand every member's pooled arena straight back to
 	// the engine: the serving tier never pins arenas across requests.
@@ -266,6 +311,7 @@ func toMemberDTO(res *wwt.Result) memberDTO {
 		Tables:     len(res.Tables),
 		Relevant:   relevant,
 		UsedProbe2: res.UsedProbe2,
+		Degraded:   res.Degraded,
 		TotalUS:    res.Timings.Total().Microseconds(),
 	}
 }
@@ -285,11 +331,19 @@ func errStatus(err error) int {
 	}
 }
 
-// retryAfter suggests a backoff of roughly one query budget, at least 1s.
-func retryAfter(timeout time.Duration) string {
-	secs := int(timeout / time.Second)
+// retryAfter derives the 429 backoff from the planner's estimated queue
+// drain: the occupancy at shed time divided into capacity-sized waves,
+// each lasting the decayed average slot-hold time of recent requests
+// (plan.DrainEstimate). The estimate is clamped to [1s, MaxTimeout]; a
+// cold server (no holds observed yet) falls back to the 1s floor.
+func (s *Server) retryAfter(occupied, need, capacity int) string {
+	est := plan.DrainEstimate(occupied, need, capacity, s.met.holdAvg())
+	secs := int64(est.Seconds() + 0.999) // ceil: never advise retrying early
 	if secs < 1 {
 		secs = 1
+	}
+	if maxS := int64(s.cfg.MaxTimeout.Seconds()); secs > maxS {
+		secs = maxS
 	}
 	return fmt.Sprintf("%d", secs)
 }
@@ -315,6 +369,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	inFlight, queued, capacity := s.adm.snapshot()
+	drain := plan.DrainEstimate(inFlight+queued, 1, capacity, s.met.holdAvg())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(time.Now(), inFlight, queued, capacity, s.backend.CacheStats()))
+	fmt.Fprint(w, s.met.render(time.Now(), inFlight, queued, capacity,
+		s.backend.CacheStats(), s.backend.PlanStats(), drain))
 }

@@ -134,6 +134,58 @@ func TestBatchAnswer(t *testing.T) {
 	}
 }
 
+// TestBatchScheduleSJF: a batch carrying "schedule": "sjf" and per-request
+// planner knobs answers exactly like the default FIFO batch — scheduling
+// reorders dispatch, never output slots.
+func TestBatchScheduleSJF(t *testing.T) {
+	ts := httptest.NewServer(New(testEngine(t), Config{}))
+	defer ts.Close()
+
+	body := `{"queries": [{"columns": ["country", "currency"]}, {"columns": ["country", "capital"]}]}`
+	resp, fifo := postJSON(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fifo status = %d (%s)", resp.StatusCode, fifo)
+	}
+	sjfBody := `{"queries": [{"columns": ["country", "currency"]}, {"columns": ["country", "capital"]}], "schedule": "sjf", "planner": {"elide_probe2": false}}`
+	resp, sjf := postJSON(t, ts, sjfBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sjf status = %d (%s)", resp.StatusCode, sjf)
+	}
+	var bf, bs batchDTO
+	if err := json.Unmarshal(fifo, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(sjf, &bs); err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Results) != 2 || bs.Failed != 0 {
+		t.Fatalf("sjf batch summary: %+v", bs)
+	}
+	for i := range bf.Results {
+		a, _ := json.Marshal(bf.Results[i].Rows)
+		b, _ := json.Marshal(bs.Results[i].Rows)
+		if string(a) != string(b) {
+			t.Fatalf("member %d rows diverge under sjf:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// TestRetryAfterDerivation pins the drain-estimate clamp: cold hold
+// average floors at 1s, long drains cap at MaxTimeout.
+func TestRetryAfterDerivation(t *testing.T) {
+	s := New(testEngine(t), Config{MaxTimeout: 10 * time.Second})
+	if got := s.retryAfter(5, 1, 4); got != "1" {
+		t.Errorf("cold estimator: Retry-After = %s, want 1", got)
+	}
+	s.met.hold.Observe(float64(2 * time.Second))  // one 2s wave observed
+	if got := s.retryAfter(7, 1, 4); got != "4" { // ceil(8/4)=2 waves x 2s
+		t.Errorf("warm estimator: Retry-After = %s, want 4", got)
+	}
+	if got := s.retryAfter(400, 1, 4); got != "10" { // clamped to MaxTimeout
+		t.Errorf("long drain: Retry-After = %s, want 10", got)
+	}
+}
+
 // TestRequestValidation: malformed bodies, empty requests, mixed forms
 // and oversized batches are rejected without reaching the engine.
 func TestRequestValidation(t *testing.T) {
@@ -149,6 +201,7 @@ func TestRequestValidation(t *testing.T) {
 		{`{"columns": ["a"], "queries": [{"columns": ["b"]}]}`, http.StatusBadRequest},
 		{`{"queries": [{"columns":["a"]},{"columns":["b"]},{"columns":["c"]}]}`, http.StatusRequestEntityTooLarge},
 		{`{"columns": ["the of a"]}`, http.StatusBadRequest}, // engine: no content words
+		{`{"queries": [{"columns":["a"]}], "schedule": "bogus"}`, http.StatusBadRequest},
 	} {
 		resp, body := postJSON(t, ts, tc.body)
 		if resp.StatusCode != tc.want {
@@ -165,7 +218,7 @@ func TestRequestValidation(t *testing.T) {
 // and holds every member until release is closed or the member's context
 // expires.
 type stubBackend struct {
-	started chan struct{} // receives one token per AnswerBatchCtx call
+	started chan struct{} // receives one token per AnswerBatchPlan call
 	release chan struct{} // close to let held batches finish
 }
 
@@ -173,7 +226,7 @@ func newStubBackend() *stubBackend {
 	return &stubBackend{started: make(chan struct{}, 64), release: make(chan struct{})}
 }
 
-func (b *stubBackend) AnswerBatchCtx(ctx context.Context, queries []wwt.Query, workers int, perQuery time.Duration) *wwt.BatchResult {
+func (b *stubBackend) AnswerBatchPlan(ctx context.Context, queries []wwt.Query, workers int, perQuery time.Duration, _ wwt.BatchPlan) *wwt.BatchResult {
 	b.started <- struct{}{}
 	br := &wwt.BatchResult{
 		Results: make([]*wwt.Result, len(queries)),
@@ -201,6 +254,8 @@ func (b *stubBackend) AnswerBatchCtx(ctx context.Context, queries []wwt.Query, w
 }
 
 func (b *stubBackend) CacheStats() wwt.EngineCacheStats { return wwt.EngineCacheStats{} }
+
+func (b *stubBackend) PlanStats() wwt.PlanStats { return wwt.PlanStats{} }
 
 // TestAdmissionShedding saturates a 1-slot, no-queue server and demands
 // the second request is shed with 429 + Retry-After while the first
@@ -343,6 +398,11 @@ func TestHealthzAndMetrics(t *testing.T) {
 		`wwt_cache_hit_rate{cache="doc_sets"}`,
 		`wwt_cache_misses_total{cache="pair_sims"}`,
 		`wwt_cache_hits_total{cache="norm_cells"}`,
+		"wwt_plan_probe2_elided_total ",
+		"wwt_plan_degraded_total ",
+		"wwt_plan_cost_error ",
+		"wwt_plan_calibrated ",
+		"wwt_plan_queue_drain_seconds ",
 	} {
 		if !strings.Contains(met, want) {
 			t.Errorf("metrics missing %q:\n%s", want, met)

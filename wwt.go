@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wwt/internal/consolidate"
 	"wwt/internal/core"
 	"wwt/internal/index"
 	"wwt/internal/inference"
+	"wwt/internal/plan"
 	"wwt/internal/text"
 	"wwt/internal/wtable"
 )
@@ -44,6 +46,130 @@ type Options struct {
 	MinConfidentRelevance float64
 	// Consolidate options.
 	Consolidate consolidate.Options
+	// Planner configures the adaptive query planner's levers. The zero
+	// value disables every lever: the pipeline runs exactly as if the
+	// planner did not exist (pinned by TestPlannerOffBitIdentical). Cost
+	// calibration itself always runs — it is observability-only and never
+	// changes an answer.
+	Planner PlannerOptions
+}
+
+// PlannerOptions are the adaptive planner's levers (see internal/plan for
+// the cost model). Each lever is individually togglable and off by
+// default; with all levers off the query path is bit-identical to a
+// planner-less engine.
+type PlannerOptions struct {
+	// ElideProbe2 skips the second content-overlap probe (and its read)
+	// when the stage-1 mapping confidence clears ElideConfidence: every
+	// query column is mapped by some confident relevant table with a
+	// stage-1 max-marginal of at least the threshold. Elision is recorded
+	// in Result.Probe2Elided.
+	ElideProbe2 bool
+	// ElideConfidence is the stage-1 confidence threshold for ElideProbe2
+	// (0 means DefaultElideConfidence). Raising it makes elision rarer and
+	// safer. Stage-1 confidences are softmaxed max-marginals, so their
+	// ceiling depends on the query width and potential scale; the default
+	// sits above the ceiling observed on the evaluation corpus, making
+	// elision answer-preserving there by construction. Lowering the
+	// threshold trades recall for latency: an elided answer can lose rows
+	// that only second-probe tables contribute, but never gains rows the
+	// full pipeline would not produce.
+	ElideConfidence float64
+	// DeadlineDegrade degrades a query that is about to overrun its
+	// context deadline — capping candidate tables at DegradeMaxTables and
+	// falling back to independent inference — instead of letting it abort
+	// with DeadlineExceeded. Degradation is recorded in Result.Degraded.
+	// It requires a calibrated estimator; cold engines never degrade.
+	DeadlineDegrade bool
+	// DegradeMaxTables caps the candidate-table count of a degraded query
+	// (0 means DefaultDegradeMaxTables).
+	DegradeMaxTables int
+	// DegradeHeadroom scales the estimated remaining cost before
+	// comparing it to the remaining deadline budget (0 means
+	// DefaultDegradeHeadroom; larger degrades earlier).
+	DegradeHeadroom float64
+}
+
+// Planner lever defaults (used when the corresponding PlannerOptions
+// field is zero).
+const (
+	DefaultElideConfidence  = 0.98
+	DefaultDegradeMaxTables = 8
+	DefaultDegradeHeadroom  = 1.5
+)
+
+// elideConfidence resolves the effective elision threshold.
+func (p PlannerOptions) elideConfidence() float64 {
+	if p.ElideConfidence > 0 {
+		return p.ElideConfidence
+	}
+	return DefaultElideConfidence
+}
+
+// degradeMaxTables resolves the effective degraded-table cap.
+func (p PlannerOptions) degradeMaxTables() int {
+	if p.DegradeMaxTables > 0 {
+		return p.DegradeMaxTables
+	}
+	return DefaultDegradeMaxTables
+}
+
+// degradeHeadroom resolves the effective degradation headroom factor.
+func (p PlannerOptions) degradeHeadroom() float64 {
+	if p.DegradeHeadroom > 0 {
+		return p.DegradeHeadroom
+	}
+	return DefaultDegradeHeadroom
+}
+
+// Schedule selects the dispatch order of batch members on the worker
+// pool. Every schedule fills the same output slots with the same
+// bit-identical per-member results — ordering only changes *when* each
+// member runs, never what it computes (pinned by
+// TestAnswerBatchSchedulingEquivalence).
+type Schedule int
+
+const (
+	// ScheduleFIFO dispatches members in submission order (the default).
+	ScheduleFIFO Schedule = iota
+	// ScheduleSJF dispatches members in ascending estimated cost
+	// (shortest job first), stable tie-break on submission index, so one
+	// posting-heavy member cannot inflate every co-batched member's
+	// latency. On a cold estimator all estimates are 0 and SJF degenerates
+	// to FIFO.
+	ScheduleSJF
+	// ScheduleDeadline dispatches members in ascending slack (per-member
+	// deadline budget minus estimated cost), promoting the members
+	// closest to blowing their deadline. With a uniform budget this is
+	// descending estimated cost (longest first).
+	ScheduleDeadline
+)
+
+// String names the schedule as accepted by ParseSchedule.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleFIFO:
+		return "fifo"
+	case ScheduleSJF:
+		return "sjf"
+	case ScheduleDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// ParseSchedule parses a schedule name ("fifo", "sjf", "deadline"; ""
+// means FIFO).
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "", "fifo":
+		return ScheduleFIFO, nil
+	case "sjf":
+		return ScheduleSJF, nil
+	case "deadline":
+		return ScheduleDeadline, nil
+	}
+	return ScheduleFIFO, fmt.Errorf("wwt: unknown schedule %q (want fifo, sjf or deadline)", s)
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -134,7 +260,15 @@ type Result struct {
 	Tables     []*wtable.Table // candidate tables, in model order
 	Model      *core.Model
 	UsedProbe2 bool
-	Timings    Timings
+	// Probe2Elided reports that the planner skipped the second probe
+	// because the stage-1 mapping already cleared the confidence
+	// threshold (UsedProbe2 is then false).
+	Probe2Elided bool
+	// Degraded reports that the planner degraded this query (capped
+	// candidate tables, independent inference) to beat its deadline
+	// instead of aborting with DeadlineExceeded.
+	Degraded bool
+	Timings  Timings
 
 	// The pooled arena backing Model, owned by this result until Release.
 	engine  *Engine
@@ -178,6 +312,13 @@ type Engine struct {
 	pairs    *core.PairSimCache
 	norm     *text.NormCache
 	scratch  sync.Pool // *QueryScratch
+
+	// Adaptive-planner state: the online-calibrated cost estimator (see
+	// internal/plan) plus cumulative lever counters. planner is nil only
+	// on zero-value engines, where every planner path is skipped.
+	planner      *plan.Estimator
+	planElided   atomic.Uint64
+	planDegraded atomic.Uint64
 }
 
 // docSetSource is the doc-set probe surface shared by Index, Searcher and
@@ -232,6 +373,7 @@ func NewEngineFrom(ix *index.Index, st *index.Store, opts *Options) *Engine {
 		views:    core.NewViewCache(),
 		pairs:    core.NewPairSimCache(0),
 		norm:     text.NewNormCache(0),
+		planner:  plan.NewEstimator(len(inference.Algorithms), plan.DefaultAlpha),
 	}
 }
 
@@ -256,6 +398,7 @@ func NewEngineFromSharded(ss *index.ShardedSearcher, st *index.Store, opts *Opti
 		views:   core.NewViewCache(),
 		pairs:   core.NewPairSimCache(0),
 		norm:    text.NewNormCache(0),
+		planner: plan.NewEstimator(len(inference.Algorithms), plan.DefaultAlpha),
 	}
 }
 
@@ -354,6 +497,90 @@ func (e *Engine) CacheStats() EngineCacheStats {
 		st.NormCells.Hits, st.NormCells.Misses = e.norm.Stats()
 	}
 	return st
+}
+
+// PlanStats is a point-in-time snapshot of the adaptive planner: how many
+// queries each lever touched, and how well the cost model predicts.
+type PlanStats struct {
+	// Probe2Elided counts queries whose second probe the planner skipped.
+	Probe2Elided uint64
+	// Degraded counts queries the planner degraded to beat a deadline.
+	Degraded uint64
+	// CostError is the decayed mean relative error of the cost model's
+	// own predictions (|estimated−actual|/actual; 0 until calibrated).
+	CostError float64
+	// Calibrated reports whether the estimator has observed enough
+	// queries under the engine's algorithm for estimates to be meaningful.
+	Calibrated bool
+}
+
+// PlanStats snapshots the planner counters and cost-model quality. Safe
+// for concurrent use; zero-value engines report all zeros.
+func (e *Engine) PlanStats() PlanStats {
+	st := PlanStats{
+		Probe2Elided: e.planElided.Load(),
+		Degraded:     e.planDegraded.Load(),
+	}
+	if e.planner != nil {
+		st.CostError = e.planner.ErrorRate()
+		st.Calibrated = e.planner.Calibrated(int(e.Opts.Algorithm))
+	}
+	return st
+}
+
+// Planner returns the engine's cost estimator (nil on zero-value
+// engines). Exposed so benchmarks and schedulers outside the package can
+// pre-warm or inspect calibration; normal serving never needs it.
+func (e *Engine) Planner() *plan.Estimator { return e.planner }
+
+// termStats reads one token's planner features (document frequency, total
+// posting entries) from whichever probe surface the engine runs on.
+func (e *Engine) termStats(tok string) (df int32, postings int, ok bool) {
+	if e.sharded != nil {
+		return e.sharded.TermStats(tok)
+	}
+	if e.searcher != nil {
+		return e.searcher.TermStats(tok)
+	}
+	if e.Index != nil {
+		return e.Index.TermStats(tok)
+	}
+	return 0, 0, false
+}
+
+// EstimateCost predicts the wall time of answering q from the calibrated
+// cost model and the index's term statistics — without running anything.
+// A cold (or zero-value) engine returns 0: every query looks equal, and
+// cost-ordered scheduling degenerates to FIFO. The estimate is what SJF
+// batch scheduling sorts by; it is never used to change an answer.
+func (e *Engine) EstimateCost(q Query) time.Duration {
+	if e.planner == nil {
+		return 0
+	}
+	seen := make(map[string]bool, 8)
+	f := plan.Features{}
+	dfSum := 0
+	for _, col := range q.Columns {
+		for _, tok := range text.Normalize(col) {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			df, postings, ok := e.termStats(tok)
+			if !ok {
+				continue
+			}
+			f.Postings += postings
+			dfSum += int(df)
+		}
+	}
+	// Predicted candidate-table count: the probe returns at most ProbeK
+	// tables, and no more than the number of documents matching any term.
+	f.Tables = dfSum
+	if k := e.Opts.ProbeK; k > 0 && f.Tables > k {
+		f.Tables = k
+	}
+	return e.planner.EstimateQuery(f, int(e.Opts.Algorithm), e.Opts.SecondProbe)
 }
 
 // PMISource exposes the engine's index as the co-occurrence source for the
