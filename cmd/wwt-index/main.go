@@ -34,7 +34,17 @@ func main() {
 	crawl := flag.String("crawl", "crawl", "crawl directory (from wwt-corpus)")
 	out := flag.String("out", "idx", "output directory for index.gob, store.gob and the flat shard files")
 	shards := flag.Int("shards", 1, "postings shards for the flat index (terms are hashed across shards)")
+	flatVersion := flag.Int("flat-version", 2, "flat index format version: 2 (WWTFLT02, block-max postings) or 1 (WWTFLT01, for older readers)")
+	blockSize := flag.Int("block-size", index.DefaultBlockSize, "postings per block-max block (v2 only; must be > 0)")
 	flag.Parse()
+	// Validate the flat-format options before the (long) extract+build run,
+	// with the same versioned precision the writer itself enforces.
+	if *flatVersion != 1 && *flatVersion != 2 {
+		fatal(fmt.Errorf("flat format version %d not supported, this build writes 1 (WWTFLT01) and 2 (WWTFLT02)", *flatVersion))
+	}
+	if *flatVersion == 2 && *blockSize <= 0 {
+		fatal(fmt.Errorf("flat format v2 (WWTFLT02) requires a positive -block-size, got %d", *blockSize))
+	}
 
 	start := time.Now()
 	data, err := os.ReadFile(filepath.Join(*crawl, "manifest.json"))
@@ -78,7 +88,8 @@ func main() {
 		fatal(err)
 	}
 	flatStart := time.Now()
-	if err := index.WriteSharded(*out, index.NewSearcher(ix), *shards); err != nil {
+	wopts := index.WriteShardedOptions{FormatVersion: *flatVersion, BlockSize: *blockSize}
+	if err := index.WriteShardedWith(*out, index.NewSearcher(ix), *shards, wopts); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("indexed %d tables from %d pages in %.1fs -> %s (flat index: %d shard(s), %.2fs)\n",

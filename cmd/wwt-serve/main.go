@@ -49,6 +49,7 @@ func main() {
 	planElideConf := flag.Float64("plan-elide-conf", wwt.DefaultElideConfidence, "planner: stage-1 confidence threshold for probe-2 elision")
 	planDegrade := flag.Bool("plan-degrade", false, "planner: degrade (cap tables, downgrade inference) instead of missing deadlines")
 	planDegradeTables := flag.Int("plan-degrade-tables", wwt.DefaultDegradeMaxTables, "planner: candidate-table cap under deadline degradation")
+	planCoeffs := flag.String("plan-coeffs", "", "planner: calibrated-coefficient sidecar path, loaded at startup and written on drain (default <idx>/plan-coeffs.json; empty string after an explicit -plan-coeffs= disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: wwt-serve -idx DIR [-addr :8080] [flags]")
@@ -81,6 +82,17 @@ func main() {
 		fatal(err)
 	}
 
+	coeffsPath := *planCoeffs
+	coeffsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "plan-coeffs" {
+			coeffsSet = true
+		}
+	})
+	if !coeffsSet {
+		coeffsPath = filepath.Join(*idxDir, "plan-coeffs.json")
+	}
+
 	st, err := index.LoadStore(filepath.Join(*idxDir, "store.gob"))
 	if err != nil {
 		fatal(err)
@@ -90,6 +102,18 @@ func main() {
 		fatal(err)
 	}
 	defer eng.Close()
+
+	// Warm the cost model from the last run's calibration, when a sidecar
+	// is present; a missing file just starts cold. A corrupt or
+	// version-mismatched sidecar is fatal (delete it to recalibrate) —
+	// silently serving with wrong coefficients would be worse.
+	if coeffsPath != "" {
+		if loaded, err := eng.Planner().LoadFile(coeffsPath); err != nil {
+			fatal(err)
+		} else if loaded {
+			fmt.Printf("wwt-serve: planner coefficients loaded from %s\n", coeffsPath)
+		}
+	}
 
 	srv := serve.New(eng, serve.Config{
 		Workers:         *workers,
@@ -132,6 +156,16 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
+		}
+		// Persist what this run learned so the next start resumes warm.
+		// Best-effort: a full disk must not turn a clean drain into a
+		// non-zero exit.
+		if coeffsPath != "" {
+			if err := eng.Planner().SaveFile(coeffsPath); err != nil {
+				fmt.Fprintln(os.Stderr, "wwt-serve:", err)
+			} else {
+				fmt.Printf("wwt-serve: planner coefficients saved to %s\n", coeffsPath)
+			}
 		}
 		fmt.Println("wwt-serve: drained, bye")
 	}

@@ -1,0 +1,166 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wwt/internal/wtable"
+)
+
+// benchSkewedTables builds the 1500-table skewed fixture corpus behind
+// the block-max/pruning benchmarks: every table carries a handful of
+// zipf-picked common words (long posting lists, low idf), and each table
+// also carries one of 125 rare words (12 tables per word, repeated — high
+// idf, high tf). A rare+common query's top-10 is decided by the rare
+// term, which is exactly the shape where block-max skipping and shard
+// pruning pay: the common lists are long, cold and mostly hopeless.
+func benchSkewedTables() []*wtable.Table {
+	r := rand.New(rand.NewSource(2012))
+	common := make([]string, 30)
+	for i := range common {
+		common[i] = fmt.Sprintf("common%02d", i)
+	}
+	pickCommon := func() string {
+		i := int(r.ExpFloat64() * 5)
+		if i >= len(common) {
+			i = len(common) - 1
+		}
+		return common[i]
+	}
+	row := func(cells ...string) wtable.Row {
+		w := wtable.Row{}
+		for _, c := range cells {
+			w.Cells = append(w.Cells, wtable.Cell{Text: c})
+		}
+		return w
+	}
+	tables := make([]*wtable.Table, benchCorpusSize)
+	for i := range tables {
+		tb := &wtable.Table{ID: fmt.Sprintf("t%04d", i)}
+		// Rare words cluster over contiguous doc IDs (12 tables per word),
+		// the way a crawl's site locality clusters related tables — so a
+		// rare query term's candidates concentrate in a few blocks of each
+		// common list instead of leaving one live doc per block.
+		rare := fmt.Sprintf("rare%03d", i/12)
+		tb.HeaderRows = []wtable.Row{row(rare)}
+		for j := 0; j < 3; j++ {
+			tb.BodyRows = append(tb.BodyRows, row(pickCommon(), pickCommon(), pickCommon(), pickCommon()))
+		}
+		tb.BodyRows = append(tb.BodyRows, row(rare, rare, rare, rare))
+		tables[i] = tb
+	}
+	return tables
+}
+
+// benchSkewedQueries is the skewed multi-term query mix: one rare term
+// plus three common ones.
+func benchSkewedQueries(n int) [][]string {
+	r := rand.New(rand.NewSource(7))
+	qs := make([][]string, n)
+	for i := range qs {
+		qs[i] = []string{
+			fmt.Sprintf("rare%03d", r.Intn(125)),
+			fmt.Sprintf("common%02d", r.Intn(10)),
+			fmt.Sprintf("common%02d", r.Intn(30)),
+			fmt.Sprintf("common%02d", r.Intn(30)),
+		}
+	}
+	return qs
+}
+
+func benchSkewedSearcher(b *testing.B) *Searcher {
+	b.Helper()
+	ix, err := Build(benchSkewedTables())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewSearcher(ix)
+}
+
+// stripBlocks drops a searcher's block summaries, turning it into the
+// exact v1 probe path (term-level max-score skip only) for baselines.
+func stripBlocks(s *Searcher) {
+	s.sh.blockSize = 0
+	for f := 0; f < int(numFields); f++ {
+		s.sh.blkOff[f] = nil
+		s.sh.blkMax[f] = nil
+		s.sh.blkDoc[f] = nil
+		s.sh.fieldMaxW[f] = nil
+	}
+}
+
+// reportProbeMetrics turns cumulative probe stats into per-op and rate
+// metrics on the benchmark (picked up by wwt-benchjson).
+func reportProbeMetrics(b *testing.B, st ProbeStats, ops int) {
+	if ops == 0 {
+		return
+	}
+	if st.BlocksTotal > 0 {
+		b.ReportMetric(float64(st.BlocksSkipped)/float64(st.BlocksTotal)*100, "blockskip%")
+	}
+	if st.Postings > 0 {
+		b.ReportMetric(float64(st.Scanned)/float64(st.Postings)*100, "scan%")
+	}
+	b.ReportMetric(float64(st.ShardsPruned)/float64(ops), "pruned/op")
+}
+
+// BenchmarkSearchBlockMax: skewed top-10 probes on the single-shard
+// searcher, block-max v2 against the stripped v1 baseline.
+func BenchmarkSearchBlockMax(b *testing.B) {
+	queries := benchSkewedQueries(64)
+	for _, mode := range []string{"v2", "v1"} {
+		b.Run(mode, func(b *testing.B) {
+			s := benchSkewedSearcher(b)
+			if mode == "v1" {
+				stripBlocks(s)
+			}
+			var total ProbeStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := s.SearchStats(queries[i%len(queries)], 10)
+				total.BlocksTotal += st.BlocksTotal
+				total.BlocksSkipped += st.BlocksSkipped
+				total.Postings += st.Postings
+				total.Scanned += st.Scanned
+			}
+			b.StopTimer()
+			reportProbeMetrics(b, total, b.N)
+		})
+	}
+}
+
+// BenchmarkShardedPruned: the acceptance benchmark — skewed multi-term
+// top-10 probes over the 1500-table fixture at 8 shards, the mmap-opened
+// v2 index (block-max + shard pruning) against the same index written as
+// v1 (term-level skip only).
+func BenchmarkShardedPruned(b *testing.B) {
+	s := benchSkewedSearcher(b)
+	queries := benchSkewedQueries(64)
+	for _, mode := range []int{2, 1} {
+		b.Run(fmt.Sprintf("v%d", mode), func(b *testing.B) {
+			dir := b.TempDir()
+			if err := WriteShardedWith(dir, s, 8, WriteShardedOptions{FormatVersion: mode}); err != nil {
+				b.Fatal(err)
+			}
+			ss, err := OpenSharded(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ss.Close()
+			ss.Search(queries[0], 10) // fault in before timing
+			var total ProbeStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := ss.SearchStats(queries[i%len(queries)], 10)
+				total.BlocksTotal += st.BlocksTotal
+				total.BlocksSkipped += st.BlocksSkipped
+				total.Postings += st.Postings
+				total.Scanned += st.Scanned
+				total.ShardsPruned += st.ShardsPruned
+			}
+			b.StopTimer()
+			reportProbeMetrics(b, total, b.N)
+		})
+	}
+}

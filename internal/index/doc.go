@@ -11,11 +11,10 @@
 // scorer; it must not be mutated once a Searcher has been frozen from it.
 // Searcher is the query-time form: a frozen CSR layout with precomputed
 // (1+ln tf)·boost/√len weights, a pooled dense accumulator with
-// generation-tagged reset, bounded top-k heap selection and a max-score
-// admission skip. A Searcher is immutable and safe for concurrent Search
-// calls; TestSearcherEquivalence pins it hit-for-hit identical to
-// Index.Search (both accumulate in lexicographic term order, so float64
-// sums stay bit-identical) — keep that invariant when touching either
+// generation-tagged reset, bounded top-k heap selection and the layered
+// probe pruning described below. A Searcher is immutable and safe for
+// concurrent Search calls; TestSearcherEquivalence pins it hit-for-hit
+// identical to Index.Search — keep that invariant when touching either
 // side.
 //
 // DocSetCache (and its sharded counterpart ShardedDocSetCache) is a
@@ -23,6 +22,48 @@
 // plus field mask. Cached doc-set slices are shared and read-only: callers
 // only intersect them, never mutate. Store is append-only at build time
 // and read-only afterwards.
+//
+// # The canonical term order and bit-identity
+//
+// All three scorers — Index.Search, Searcher and ShardedSearcher —
+// accumulate per-document float64 scores in one canonical term order:
+// document frequency ascending, token ascending on ties. Identical
+// operation order makes the sums — and therefore hits, scores and
+// tie-breaks — bit-identical across every path and shard count
+// (TestSearcherEquivalence, TestShardedSearcherEquivalence). Rarest-first
+// is not cosmetic: the selective terms establish the top-k score floor
+// before the long common lists are walked, which is what arms the block
+// and shard pruning below. Keep the order in sync in all three scorers.
+//
+// # The probe layer: three levels of exact pruning
+//
+// On top of the PR 1 term-level max-score skip, probes prune work at three
+// granularities (gather.go); every level only ever discards work that
+// provably cannot change the top k, so results stay bit-identical:
+//
+//  1. Block closure. Posting lists carry fixed-width block summaries (max
+//     posting weight + first doc ID per block). A block whose best
+//     reachable score sits strictly below the current top-k threshold
+//     stops admitting new candidate documents.
+//  2. Whole-block skips. A closed block whose doc-ID range contains no
+//     still-live candidate is skipped without touching its posting pages;
+//     only the dense summaries (~1/blockSize of the postings) are read.
+//     Live candidates are tracked in a lazily built per-probe bitmap, so
+//     probes that never close a block pay nothing for it.
+//  3. Shard pruning. When every involved shard has block summaries, a
+//     floor-seeding pre-pass scores the highest-bound shard(s) into a
+//     throwaway accumulator generation; shards whose score upper bound
+//     cannot beat the resulting floor are pruned — their posting pages
+//     are never prefaulted — and the main gather opens with the floor
+//     preseeded, so pruned shards' lists begin closed. The pre-pass only
+//     arms itself when the per-query bound profile is skewed
+//     (passASkewFactor); on flat profiles it would be pure double work.
+//
+// Inner scoring loops are lane-grouped (laneWidth-wide groups with bounds
+// checks hoisted); every document sees the identical float64 operation
+// sequence as a scalar loop, so the lanes change speed, never sums.
+// SearchStats exposes per-probe counters (ProbeStats) for the
+// wwt_probe_* metrics and the planner's scanned-fraction feature.
 //
 // # Persistence: gob snapshots and the flat sharded index
 //
@@ -35,25 +76,25 @@
 //     the index gob decodes every posting map into memory (O(corpus)).
 //
 //   - docs.wwt + postings-NNN.wwt — the flat sharded index written by
-//     WriteSharded and opened by OpenSharded. Opening is O(1) in corpus
-//     size: the files are memory-mapped (page-cache backed) and the
-//     searcher's arrays alias the mapping directly; no maps are built and
-//     no bytes are copied on the fast path.
+//     WriteSharded / WriteShardedWith and opened by OpenSharded. Opening
+//     is O(1) in corpus size: the files are memory-mapped (page-cache
+//     backed) and the searcher's arrays alias the mapping directly; no
+//     maps are built and no bytes are copied on the fast path.
 //
-// # Flat file layout (format version 1)
+// # Flat file layout (format versions 1 and 2)
 //
 // Every .wwt file is little-endian and starts with a 48-byte header:
 //
 //	offset  size  field
-//	     0     8  magic "WWTFLT01"
-//	     8     4  format version (1)
+//	     0     8  magic "WWTFLT01" (version 1) / "WWTFLT02" (version 2)
+//	     8     4  format version (1 or 2, matching the magic)
 //	    12     4  kind: 1 = docs file, 2 = postings shard
 //	    16     4  shardIndex (0 for docs)
 //	    20     4  shardCount
 //	    24     8  numDocs
 //	    32     8  numTerms (this shard's; 0 for docs)
 //	    40     4  sectionCount
-//	    44     4  reserved
+//	    44     4  version 1: reserved (0); version 2: blockSize (> 0)
 //
 // A section table of sectionCount 24-byte entries {id u32, reserved u32,
 // offset u64, len u64} follows, then the section payloads. Every payload
@@ -62,6 +103,23 @@
 // offsets array plus one concatenated byte blob; terms are sorted, and
 // lookup is a binary search over the blob — building a map at open time
 // would make open O(terms).
+//
+// Version 2 postings shards append four block-summary sections per field f
+// (IDs secFieldBlkBase + 4f + k), derived deterministically from the
+// postings with the header's blockSize:
+//
+//	k  section      type     contents
+//	0  blkOff[f]    int32    per term: first block index; numTerms+1
+//	                         entries (CSR over blocks)
+//	1  blkMax[f]    float32  per block: max posting weight
+//	2  blkDoc[f]    int32    per block: first doc ID
+//	3  fieldMaxW[f] float32  per term: max posting weight in the field
+//
+// Blocks are aligned to each (term, field) list's start — block b of term
+// t covers postings [t.off + b·blockSize, t.off + (b+1)·blockSize) of the
+// list — so the summaries are exactly reproducible from the postings.
+// Version 1 files open with no block summaries: probes fall back to the
+// term-level skip alone, bit-identical hits, no pruning counters.
 //
 // On little-endian hosts with an aligned mapping the typed views are
 // zero-copy (unsafe.Slice over the mapped bytes); on big-endian hosts or
@@ -80,10 +138,9 @@
 // full-corpus df, idf and max-score bound for its terms, so per-term
 // statistics are exactly equal to their single-shard values. A probe
 // scatters term resolution (lookup + page prefault) across shards in
-// parallel, then gathers by accumulating in canonical lexicographic term
-// order with the same admission-skip logic as Searcher.Search. Identical
-// operation order makes the float64 sums — and therefore hits, scores and
-// tie-breaks — bit-identical to the single-shard searcher for every shard
-// count; TestShardedSearcherEquivalence pins this for N ∈ {1, 2, 3, 8}.
-// Keep that invariant when touching either search loop.
+// parallel — or, when the pruning pre-pass is armed, resolves serially
+// and defers prefaulting until the prune decision — then gathers by
+// accumulating every resolved term in the canonical order above.
+// TestShardedSearcherEquivalence pins bit-identity for N ∈ {1, 2, 3, 8};
+// keep that invariant when touching either search loop.
 package index

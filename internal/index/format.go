@@ -16,17 +16,21 @@ package index
 // Flat file layout (all integers little-endian, sections 8-byte aligned):
 //
 //	offset  size  field
-//	0       8     magic "WWTFLT01"
-//	8       4     format version (currently 1)
+//	0       8     magic "WWTFLT01" (version 1) or "WWTFLT02" (version 2)
+//	8       4     format version (1 or 2, matching the magic)
 //	12      4     kind (1 = doc table, 2 = postings shard)
 //	16      4     shard index (postings files; 0 for the doc table)
 //	20      4     shard count
 //	24      8     numDocs
 //	32      8     numTerms (0 for the doc table)
 //	40      4     section count
-//	44      4     reserved (0)
+//	44      4     block size (v2 postings files; reserved 0 in v1)
 //	48      24×n  section table: {id u32, reserved u32, offset u64, bytes u64}
 //	...           section payloads, each 8-byte aligned, zero padded between
+//
+// Version 2 postings files add four block-summary sections per field
+// (secFieldBlkBase); everything else is identical to version 1, and a v1
+// file keeps opening unchanged (it simply carries no block summaries).
 //
 // Numeric sections are raw little-endian arrays ([]int32, []int64,
 // []float32, []float64 bit patterns); on little-endian hosts they are
@@ -44,14 +48,18 @@ import (
 )
 
 // Magic numbers and versions. The gob magics differ per file kind so that
-// handing a store to Load (or vice versa) is diagnosed precisely.
+// handing a store to Load (or vice versa) is diagnosed precisely. Flat
+// version 2 (WWTFLT02) extends version 1 with block-max posting summaries;
+// both open through the same reader.
 const (
 	flatMagic     = "WWTFLT01"
+	flatMagicV2   = "WWTFLT02"
 	gobIndexMagic = "WWTIXG01"
 	gobStoreMagic = "WWTSTG01"
 
-	flatFormatVersion = 1
-	gobFormatVersion  = 1
+	flatFormatVersion  = 1
+	flatFormatVersion2 = 2
+	gobFormatVersion   = 1
 )
 
 // Flat file kinds.
@@ -76,6 +84,17 @@ const (
 func secFieldOff(f int) uint32  { return uint32(secFieldBase + 3*f) }
 func secFieldDocs(f int) uint32 { return uint32(secFieldBase + 3*f + 1) }
 func secFieldWts(f int) uint32  { return uint32(secFieldBase + 3*f + 2) }
+
+// Format-v2 block-summary sections, per field f. Posting lists are cut into
+// fixed-width blocks (the width lives in the header's blockSize field, byte
+// 44, which version 1 wrote as reserved 0); the summaries let a probe bound
+// and skip whole blocks without touching their posting pages.
+const secFieldBlkBase = 32 // + 4*f + {0: blkOff, 1: blkMax, 2: blkDoc, 3: fieldMaxW}
+
+func secFieldBlkOff(f int) uint32   { return uint32(secFieldBlkBase + 4*f) }
+func secFieldBlkMax(f int) uint32   { return uint32(secFieldBlkBase + 4*f + 1) }
+func secFieldBlkDoc(f int) uint32   { return uint32(secFieldBlkBase + 4*f + 2) }
+func secFieldFieldMax(f int) uint32 { return uint32(secFieldBlkBase + 4*f + 3) }
 
 const flatHeaderSize = 48
 
@@ -260,18 +279,25 @@ type section struct {
 }
 
 // writeFlatFile lays out header + section table + 8-aligned payloads.
-func writeFlatFile(path string, kind, shardIndex, shardCount uint32, numDocs, numTerms uint64, secs []section) (err error) {
+// version selects the magic/version pair; blockSize lands in header byte 44
+// (v2 postings files; 0 everywhere else, matching v1's reserved field).
+func writeFlatFile(path string, version, blockSize, kind, shardIndex, shardCount uint32, numDocs, numTerms uint64, secs []section) (err error) {
 	headerSize := flatHeaderSize + 24*len(secs)
 	hdr := make([]byte, align8(headerSize))
-	copy(hdr[0:8], flatMagic)
+	magic := flatMagic
+	if version == flatFormatVersion2 {
+		magic = flatMagicV2
+	}
+	copy(hdr[0:8], magic)
 	le := binary.LittleEndian
-	le.PutUint32(hdr[8:], flatFormatVersion)
+	le.PutUint32(hdr[8:], version)
 	le.PutUint32(hdr[12:], kind)
 	le.PutUint32(hdr[16:], shardIndex)
 	le.PutUint32(hdr[20:], shardCount)
 	le.PutUint64(hdr[24:], numDocs)
 	le.PutUint64(hdr[32:], numTerms)
 	le.PutUint32(hdr[40:], uint32(len(secs)))
+	le.PutUint32(hdr[44:], blockSize)
 
 	off := len(hdr)
 	for i, s := range secs {
@@ -319,6 +345,8 @@ type flatFile struct {
 	path       string
 	data       []byte
 	closer     func() error
+	version    uint32
+	blockSize  int
 	kind       uint32
 	shardIndex uint32
 	shardCount uint32
@@ -355,7 +383,8 @@ func openFlatFile(path string, noMmap bool) (*flatFile, error) {
 	if len(data) < flatHeaderSize {
 		return fail(ff.corrupt("file is %d bytes, smaller than the %d-byte header", len(data), flatHeaderSize))
 	}
-	if got := string(data[0:8]); got != flatMagic {
+	got := string(data[0:8])
+	if got != flatMagic && got != flatMagicV2 {
 		switch got {
 		case gobIndexMagic:
 			return fail(fmt.Errorf("index open %s: this is a gob index snapshot (use index.Load), not a flat index file", path))
@@ -365,8 +394,17 @@ func openFlatFile(path string, noMmap bool) (*flatFile, error) {
 		return fail(fmt.Errorf("index open %s: bad magic %q — not a wwt flat index file (foreign data, or written by an incompatible build); rebuild with wwt-index", path, got))
 	}
 	le := binary.LittleEndian
-	if v := le.Uint32(data[8:]); v != flatFormatVersion {
-		return fail(fmt.Errorf("index open %s: flat format version %d, this build supports %d; rebuild with wwt-index", path, v, flatFormatVersion))
+	ff.version = le.Uint32(data[8:])
+	wantVersion := uint32(flatFormatVersion)
+	if got == flatMagicV2 {
+		wantVersion = flatFormatVersion2
+	}
+	if ff.version != wantVersion {
+		return fail(fmt.Errorf("index open %s: flat format version %d, this build supports %d (%s) and %d (%s); rebuild with wwt-index",
+			path, ff.version, flatFormatVersion, flatMagic, flatFormatVersion2, flatMagicV2))
+	}
+	if ff.version >= flatFormatVersion2 {
+		ff.blockSize = int(le.Uint32(data[44:]))
 	}
 	ff.kind = le.Uint32(data[12:])
 	ff.shardIndex = le.Uint32(data[16:])

@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -190,9 +191,19 @@ func (ix *Index) Search(tokens []string, k int) []Hit {
 		return nil
 	}
 	uniq := dedup(tokens)
-	// Accumulate in lexicographic term order — the same canonical order the
-	// frozen Searcher uses — so both scorers produce bit-identical sums.
-	sort.Strings(uniq)
+	// Accumulate in canonical term order — df ascending, token ascending on
+	// ties — the same order the frozen Searcher uses, so both scorers
+	// produce bit-identical sums. Rarest-first is not cosmetic: the
+	// selective terms establish the block-max probe's top-k floor before
+	// the long common lists are walked, which is what lets whole blocks of
+	// those lists be skipped (gather.go).
+	sort.Slice(uniq, func(i, j int) bool {
+		di, dj := ix.df[uniq[i]], ix.df[uniq[j]]
+		if di != dj {
+			return di < dj
+		}
+		return uniq[i] < uniq[j]
+	})
 	scores := make(map[int32]float64)
 	for _, tok := range uniq {
 		idf := ix.IDF(tok)
@@ -219,6 +230,19 @@ func betterHit(a, b Hit) bool {
 		return a.Score > b.Score
 	}
 	return a.ID < b.ID
+}
+
+// cmpHits is betterHit as a three-way comparison for slices.SortFunc —
+// the generic sorter skips the reflection swapper sort.Slice pays per call,
+// which matters at one hit sort per probe.
+func cmpHits(a, b Hit) int {
+	switch {
+	case betterHit(a, b):
+		return -1
+	case betterHit(b, a):
+		return 1
+	}
+	return 0
 }
 
 // topKSelect partially selects the k best elements of items using an
@@ -278,7 +302,7 @@ func selectTopHits(cands []Hit, k int) []Hit {
 	}
 	out := make([]Hit, len(sel))
 	copy(out, sel)
-	sort.Slice(out, func(i, j int) bool { return betterHit(out[i], out[j]) })
+	slices.SortFunc(out, cmpHits)
 	return out
 }
 

@@ -13,9 +13,13 @@ import (
 // boosted weight (1+ln tf)·boost_f/√len_f(d) precomputed at freeze time so
 // a query probe is a pure gather-multiply-accumulate over idf. Scoring uses
 // a dense accumulator with generation-tagged reset (no per-query map), a
-// bounded top-k heap instead of a full sort, and a max-score skip that
-// stops registering new candidate documents once no unseen document can
-// still reach the current top-k threshold.
+// bounded top-k heap instead of a full sort, and the layered score-bound
+// pruning in gather.go: the term-level max-score skip, per-block closure
+// from the block-max summaries, candidate freezing, and whole-block skips.
+//
+// The CSR arrays live in a single *shard — the same representation
+// ShardedSearcher partitions by term hash — so both searchers share one
+// gather implementation and stay bit-identical by construction.
 //
 // A Searcher is immutable and safe for concurrent use; per-query scratch
 // state lives in a sync.Pool.
@@ -23,18 +27,8 @@ type Searcher struct {
 	ids     []string
 	numDocs int
 
-	terms    map[string]int32
-	names    []string  // term ID -> token
-	idf      []float64 // per term
-	maxScore []float64 // per term: idf · max posting weight over all fields
-	df       []int32   // per term: union document frequency (rarest-first DocSet order)
-
-	// CSR postings: for term t in field f, docs[f][off[f][t]:off[f][t+1]]
-	// and wts[f][off[f][t]:off[f][t+1]] hold the matching documents (sorted
-	// ascending) and their precomputed weights.
-	off  [numFields][]int32
-	docs [numFields][]int32
-	wts  [numFields][]float32
+	terms map[string]int32 // token -> term ID (lexicographic rank)
+	sh    *shard
 
 	pool sync.Pool // *accumulator
 }
@@ -60,36 +54,40 @@ func NewSearcher(ix *Index) *Searcher {
 	}
 	sort.Strings(terms)
 
-	s := &Searcher{
-		ids:      ix.ids,
-		numDocs:  len(ix.ids),
-		terms:    make(map[string]int32, len(terms)),
+	sh := &shard{
+		numTerms: len(terms),
 		names:    terms,
 		idf:      make([]float64, len(terms)),
 		maxScore: make([]float64, len(terms)),
 		df:       make([]int32, len(terms)),
 	}
+	s := &Searcher{
+		ids:     ix.ids,
+		numDocs: len(ix.ids),
+		terms:   make(map[string]int32, len(terms)),
+		sh:      sh,
+	}
 	for ti, tok := range terms {
 		s.terms[tok] = int32(ti)
-		s.idf[ti] = ix.IDF(tok)
-		s.df[ti] = int32(ix.df[tok])
+		sh.idf[ti] = ix.IDF(tok)
+		sh.df[ti] = int32(ix.df[tok])
 	}
 	for f := 0; f < int(numFields); f++ {
 		total := 0
 		for _, ps := range ix.postings[f] {
 			total += len(ps)
 		}
-		s.off[f] = make([]int32, len(terms)+1)
-		s.docs[f] = make([]int32, 0, total)
-		s.wts[f] = make([]float32, 0, total)
+		sh.off[f] = make([]int32, len(terms)+1)
+		sh.docs[f] = make([]int32, 0, total)
+		sh.wts[f] = make([]float32, 0, total)
 		for ti, tok := range terms {
-			s.off[f][ti] = int32(len(s.docs[f]))
+			sh.off[f][ti] = int32(len(sh.docs[f]))
 			for _, p := range ix.postings[f][tok] {
-				s.docs[f] = append(s.docs[f], p.Doc)
-				s.wts[f] = append(s.wts[f], postingWeight(f, p.TF, ix.fieldLen[f][p.Doc]))
+				sh.docs[f] = append(sh.docs[f], p.Doc)
+				sh.wts[f] = append(sh.wts[f], postingWeight(f, p.TF, ix.fieldLen[f][p.Doc]))
 			}
 		}
-		s.off[f][len(terms)] = int32(len(s.docs[f]))
+		sh.off[f][len(terms)] = int32(len(sh.docs[f]))
 	}
 	// maxScore[t] bounds the contribution of term t to any single document:
 	// a doc matching t in several fields accumulates the SUM of its
@@ -98,14 +96,14 @@ func NewSearcher(ix *Index) *Searcher {
 	for ti := range terms {
 		var pos, hi [numFields]int32
 		for f := 0; f < int(numFields); f++ {
-			pos[f], hi[f] = s.off[f][ti], s.off[f][ti+1]
+			pos[f], hi[f] = sh.off[f][ti], sh.off[f][ti+1]
 		}
 		best := 0.0
 		for {
 			min := int32(math.MaxInt32)
 			for f := 0; f < int(numFields); f++ {
-				if pos[f] < hi[f] && s.docs[f][pos[f]] < min {
-					min = s.docs[f][pos[f]]
+				if pos[f] < hi[f] && sh.docs[f][pos[f]] < min {
+					min = sh.docs[f][pos[f]]
 				}
 			}
 			if min == math.MaxInt32 {
@@ -113,8 +111,8 @@ func NewSearcher(ix *Index) *Searcher {
 			}
 			sum := 0.0
 			for f := 0; f < int(numFields); f++ {
-				if pos[f] < hi[f] && s.docs[f][pos[f]] == min {
-					sum += float64(s.wts[f][pos[f]])
+				if pos[f] < hi[f] && sh.docs[f][pos[f]] == min {
+					sum += float64(sh.wts[f][pos[f]])
 					pos[f]++
 				}
 			}
@@ -122,8 +120,9 @@ func NewSearcher(ix *Index) *Searcher {
 				best = sum
 			}
 		}
-		s.maxScore[ti] = s.idf[ti] * best
+		sh.maxScore[ti] = sh.idf[ti] * best
 	}
+	sh.computeBlocks(DefaultBlockSize)
 	return s
 }
 
@@ -138,7 +137,7 @@ func (s *Searcher) IDF(tok string) float64 {
 		return 1
 	}
 	if ti, ok := s.terms[tok]; ok {
-		return s.idf[ti]
+		return s.sh.idf[ti]
 	}
 	return math.Log(1 + float64(s.numDocs))
 }
@@ -156,16 +155,17 @@ func (s *Searcher) TermStats(tok string) (df int32, postings int, ok bool) {
 		return 0, 0, false
 	}
 	for f := 0; f < int(numFields); f++ {
-		postings += int(s.off[f][ti+1] - s.off[f][ti])
+		postings += int(s.sh.off[f][ti+1] - s.sh.off[f][ti])
 	}
-	return s.df[ti], postings, true
+	return s.sh.df[ti], postings, true
 }
 
 // accumulator is the per-query scratch of a search: a dense score array
 // whose entries are valid only when their generation tag matches cur, the
 // list of touched docs, reusable heap scratch for threshold and top-k
 // selection, and the probe-side term buffers (resolution set, canonical
-// term list, admission bounds).
+// term list, admission bounds). live/merged maintain the sorted list of
+// unfrozen candidates that whole-block skips check against (gather.go).
 type accumulator struct {
 	score   []float64
 	gen     []uint32
@@ -174,8 +174,13 @@ type accumulator struct {
 	scratch []float64 // reusable buffer for the skip-threshold selection
 
 	tids   []int32        // resolved unique term IDs, canonical order
+	refs   []termRef      // resolved term refs handed to gather
 	seen   map[int32]bool // term dedup, cleared per search
 	suffix []float64      // per-position admission bound
+
+	liveBits  []uint64 // bit per doc: unfrozen candidate (whole-block skip test)
+	merged    int      // touched entries already folded into liveBits
+	liveBuilt bool     // liveBits materialized (first closed block encountered)
 }
 
 func (s *Searcher) getAcc() *accumulator {
@@ -188,20 +193,22 @@ func (s *Searcher) getAcc() *accumulator {
 		a.gen = make([]uint32, s.numDocs)
 		a.cur = 0
 	}
-	a.cur++
-	if a.cur == 0 { // generation counter wrapped: hard reset
-		clear(a.gen)
-		a.cur = 1
-	}
-	a.touched = a.touched[:0]
+	a.nextGen()
 	return a
 }
 
 // Search scores a union-of-keywords query exactly like Index.Search and
 // returns the top k hits (all hits when k <= 0), sorted by score then ID.
 func (s *Searcher) Search(tokens []string, k int) []Hit {
+	hits, _ := s.SearchStats(tokens, k)
+	return hits
+}
+
+// SearchStats is Search plus the probe's skip counters.
+func (s *Searcher) SearchStats(tokens []string, k int) ([]Hit, ProbeStats) {
+	var st ProbeStats
 	if len(tokens) == 0 || s.numDocs == 0 {
-		return nil
+		return nil, st
 	}
 	acc := s.getAcc()
 	defer s.pool.Put(acc)
@@ -220,67 +227,28 @@ func (s *Searcher) Search(tokens []string, k int) []Hit {
 	}
 	acc.tids = tids
 	if len(tids) == 0 {
-		return nil
+		return nil, st
 	}
-	// Canonical (lexicographic term) processing order. The map-based
-	// reference scorer uses the same order, which makes per-document
-	// float64 sums bit-identical — the equivalence the ranking tests pin
-	// down. The max-score skip below is valid under any order.
-	slices.Sort(tids)
-	// suffix[i]: the best score any document matching only terms i..n can
-	// reach — the admission bound for documents first seen at term i.
-	if cap(acc.suffix) < len(tids)+1 {
-		acc.suffix = make([]float64, len(tids)+1)
-	}
-	suffix := acc.suffix[:len(tids)+1]
-	acc.suffix = suffix
-	suffix[len(tids)] = 0
-	for i := len(tids) - 1; i >= 0; i-- {
-		suffix[i] = suffix[i+1] + s.maxScore[tids[i]]
-	}
-
-	updateOnly := false
-	threshold := math.Inf(-1)
-	touchedAtThreshold := -1
-	for i, ti := range tids {
-		if k > 0 && !updateOnly && len(acc.touched) >= k {
-			// Partial scores only grow, so the kth largest partial score is
-			// a valid lower bound on the final kth-best score. A document
-			// unseen so far can reach at most suffix[i]; strictly below the
-			// bound it can neither beat nor tie the current top k. The 1e-9
-			// slack absorbs summation-order rounding in the bound.
-			//
-			// The bound stays valid as terms advance, so first retry the
-			// last computed threshold for free; recompute (an O(touched)
-			// scan) only while the candidate set keeps growing materially.
-			if threshold > suffix[i]+1e-9 {
-				updateOnly = true
-			} else if touchedAtThreshold < 0 || len(acc.touched) > touchedAtThreshold+touchedAtThreshold/4 {
-				threshold = acc.kthLargest(k)
-				touchedAtThreshold = len(acc.touched)
-				if threshold > suffix[i]+1e-9 {
-					updateOnly = true
-				}
-			}
+	// Canonical processing order: df ascending, token ascending on ties.
+	// The map-based reference scorer uses the same order, which makes
+	// per-document float64 sums bit-identical — the equivalence the
+	// ranking tests pin down. Rarest-first also puts the selective terms
+	// ahead of the long lists, so the top-k floor forms before the block
+	// walk reaches the blocks worth skipping (term IDs are lexicographic
+	// ranks, breaking df ties by tid breaks them by token).
+	slices.SortFunc(tids, func(a, b int32) int {
+		if s.sh.df[a] != s.sh.df[b] {
+			return int(s.sh.df[a] - s.sh.df[b])
 		}
-		idf := s.idf[ti]
-		for f := 0; f < int(numFields); f++ {
-			lo, hi := s.off[f][ti], s.off[f][ti+1]
-			ds := s.docs[f][lo:hi]
-			ws := s.wts[f][lo:hi]
-			for j, d := range ds {
-				w := idf * float64(ws[j])
-				if acc.gen[d] == acc.cur {
-					acc.score[d] += w
-				} else if !updateOnly {
-					acc.gen[d] = acc.cur
-					acc.score[d] = w
-					acc.touched = append(acc.touched, d)
-				}
-			}
-		}
+		return int(a - b)
+	})
+	refs := acc.refs[:0]
+	for _, ti := range tids {
+		refs = append(refs, termRef{sh: s.sh, tid: ti})
 	}
-	return s.collect(acc, k)
+	acc.refs = refs
+	gather(acc, refs, k, math.Inf(-1), &st)
+	return s.collect(acc, k), st
 }
 
 // kthLargest returns the kth largest score among touched docs (k <=
@@ -324,7 +292,7 @@ func (s *Searcher) collect(acc *accumulator, k int) []Hit {
 	for i, d := range winners {
 		hits[i] = Hit{ID: s.ids[d], Score: acc.score[d]}
 	}
-	sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
+	slices.SortFunc(hits, cmpHits)
 	return hits
 }
 
@@ -335,27 +303,7 @@ func (s *Searcher) DocsWithToken(tok string, fields ...Field) []int32 {
 	if !ok {
 		return nil
 	}
-	return s.termDocs(ti, fields)
-}
-
-// termDocs merges the per-field CSR ranges of one term into a fresh sorted
-// deduplicated doc set. Duplicate fields are ignored.
-func (s *Searcher) termDocs(ti int32, fields []Field) []int32 {
-	var lists [int(numFields)][]int32
-	var used [int(numFields)]bool
-	n := 0
-	for _, f := range fields {
-		if used[f] {
-			continue
-		}
-		used[f] = true
-		lo, hi := s.off[f][ti], s.off[f][ti+1]
-		if lo < hi {
-			lists[n] = s.docs[f][lo:hi]
-			n++
-		}
-	}
-	return mergeSortedDocLists(lists[:n])
+	return s.sh.termDocs(ti, fields)
 }
 
 // DocSet returns the sorted set of documents containing all tokens, each in
@@ -379,17 +327,17 @@ func (s *Searcher) DocSet(tokens []string, fields ...Field) []int32 {
 	}
 	// Rarest token first keeps intermediate intersections small.
 	sort.Slice(tids, func(i, j int) bool {
-		if s.df[tids[i]] != s.df[tids[j]] {
-			return s.df[tids[i]] < s.df[tids[j]]
+		if s.sh.df[tids[i]] != s.sh.df[tids[j]] {
+			return s.sh.df[tids[i]] < s.sh.df[tids[j]]
 		}
 		return tids[i] < tids[j]
 	})
-	set := s.termDocs(tids[0], fields)
+	set := s.sh.termDocs(tids[0], fields)
 	for _, ti := range tids[1:] {
 		if len(set) == 0 {
 			return nil
 		}
-		set = intersectSorted(set, s.termDocs(ti, fields))
+		set = intersectSorted(set, s.sh.termDocs(ti, fields))
 	}
 	return set
 }

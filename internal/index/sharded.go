@@ -6,7 +6,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -24,13 +26,21 @@ import (
 // single-shard value, which is what makes the canonical-order gather
 // exact rather than merely approximate.
 //
-// A ShardedSearcher is immutable and safe for concurrent use. When opened
-// from disk (OpenSharded) its arrays alias the file mapping: results must
-// not outlive Close.
+// A ShardedSearcher is immutable and safe for concurrent use (the pruning
+// counters are atomics). When opened from disk (OpenSharded) its arrays
+// alias the file mapping: results must not outlive Close.
 //
-// This type must stay in lockstep with Searcher.Search — the skip logic,
-// thresholds and tie-breaks are deliberate copies; change both sides
-// together (TestShardedSearcherEquivalence pins them).
+// Scoring itself is the shared gather (gather.go) — the same code path the
+// single-shard Searcher runs, so the two cannot drift apart
+// (TestShardedSearcherEquivalence pins them anyway). On top of it, a probe
+// with block summaries on every shard runs a floor-seeding pre-pass: shards
+// are ranked by their score upper bound (the sum of their resolved terms'
+// max-scores), the best one or two are scored into a throwaway generation
+// to establish a top-k floor, and shards whose bound cannot beat that floor
+// are pruned from the scatter — their pages are never prefaulted, and under
+// the preseeded floor the main gather touches at most their block
+// summaries. The main gather always processes every resolved term in
+// canonical order, so hits stay bit-identical at every shard count.
 type ShardedSearcher struct {
 	numDocs    int
 	shardCount int
@@ -41,14 +51,17 @@ type ShardedSearcher struct {
 	idOffs []int64
 	idBlob []byte
 
-	shards  []*shard
-	pool    sync.Pool // *shardedScratch
-	closers []func() error
-	mmapped bool
+	shards      []*shard
+	shardPruned []atomic.Uint64 // per shard: probes that pruned its scatter
+	pool        sync.Pool       // *shardedScratch
+	closers     []func() error
+	mmapped     bool
 }
 
 // shard is one term-hash partition: a term table in lexicographic order
-// plus the per-field CSR arrays over the shared doc space.
+// plus the per-field CSR arrays over the shared doc space. The single-shard
+// Searcher holds its whole corpus as one shard, so the scoring gather is
+// shared verbatim.
 type shard struct {
 	numTerms int
 
@@ -63,6 +76,15 @@ type shard struct {
 	off  [numFields][]int32
 	docs [numFields][]int32
 	wts  [numFields][]float32
+
+	// Block-max summaries (gather.go). blockSize == 0 (a v1 file) means no
+	// summaries: the gather falls back to the term-level skip alone, with
+	// identical results.
+	blockSize int
+	blkOff    [numFields][]int32   // per term: cumulative block counts (numTerms+1)
+	blkMax    [numFields][]float32 // per block: max posting weight
+	blkDoc    [numFields][]int32   // per block: first doc ID
+	fieldMaxW [numFields][]float32 // per term: max posting weight in the field
 }
 
 // shardOfToken is the stable (cross-process) term→shard assignment:
@@ -115,13 +137,15 @@ func NewShardedFromSearcher(s *Searcher, n int) *ShardedSearcher {
 		n = 1
 	}
 	ss := &ShardedSearcher{
-		numDocs:    s.numDocs,
-		shardCount: n,
-		ids:        s.ids,
-		shards:     make([]*shard, n),
+		numDocs:     s.numDocs,
+		shardCount:  n,
+		ids:         s.ids,
+		shards:      make([]*shard, n),
+		shardPruned: make([]atomic.Uint64, n),
 	}
+	src := s.sh
 	perShard := make([][]int32, n)
-	for ti, name := range s.names {
+	for ti, name := range src.names {
 		g := shardOfToken(name, n)
 		perShard[g] = append(perShard[g], int32(ti))
 	}
@@ -137,27 +161,28 @@ func NewShardedFromSearcher(s *Searcher, n int) *ShardedSearcher {
 		for f := 0; f < int(numFields); f++ {
 			total := 0
 			for _, ti := range tids {
-				total += int(s.off[f][ti+1] - s.off[f][ti])
+				total += int(src.off[f][ti+1] - src.off[f][ti])
 			}
 			sh.off[f] = make([]int32, len(tids)+1)
 			sh.docs[f] = make([]int32, 0, total)
 			sh.wts[f] = make([]float32, 0, total)
 		}
 		for li, ti := range tids {
-			sh.names[li] = s.names[ti]
-			sh.idf[li] = s.idf[ti]
-			sh.maxScore[li] = s.maxScore[ti]
-			sh.df[li] = s.df[ti]
+			sh.names[li] = src.names[ti]
+			sh.idf[li] = src.idf[ti]
+			sh.maxScore[li] = src.maxScore[ti]
+			sh.df[li] = src.df[ti]
 			for f := 0; f < int(numFields); f++ {
-				lo, hi := s.off[f][ti], s.off[f][ti+1]
+				lo, hi := src.off[f][ti], src.off[f][ti+1]
 				sh.off[f][li] = int32(len(sh.docs[f]))
-				sh.docs[f] = append(sh.docs[f], s.docs[f][lo:hi]...)
-				sh.wts[f] = append(sh.wts[f], s.wts[f][lo:hi]...)
+				sh.docs[f] = append(sh.docs[f], src.docs[f][lo:hi]...)
+				sh.wts[f] = append(sh.wts[f], src.wts[f][lo:hi]...)
 			}
 		}
 		for f := 0; f < int(numFields); f++ {
 			sh.off[f][len(tids)] = int32(len(sh.docs[f]))
 		}
+		sh.computeBlocks(src.blockSize)
 		ss.shards[g] = sh
 	}
 	return ss
@@ -174,22 +199,70 @@ const DocsFileName = "docs.wwt"
 // fan-out win and the file-per-shard layout stops making sense.
 const maxShards = 4096
 
+// WriteShardedOptions configures WriteShardedWith.
+type WriteShardedOptions struct {
+	// FormatVersion selects the flat layout: 1 writes WWTFLT01 (no block
+	// summaries, readable by older builds), 2 writes WWTFLT02 (block-max
+	// postings). 0 means 2.
+	FormatVersion int
+	// BlockSize is the v2 posting-block width. 0 means DefaultBlockSize;
+	// an explicit non-positive value is rejected. Ignored for version 1.
+	BlockSize int
+}
+
+// maxSectionInt32 bounds per-field posting counts: the CSR offsets (and
+// the v2 block counts derived from them) are int32 section arrays. A var
+// so tests can exercise the bound without a 2^31-posting corpus.
+var maxSectionInt32 = math.MaxInt32
+
 // WriteSharded persists a frozen Searcher as a flat sharded index under
-// dir: one shared doc-table file plus nShards postings files, each in the
-// versioned mmap-friendly layout described in the package documentation.
+// dir in the current format version (2): one shared doc-table file plus
+// nShards postings files, each in the versioned mmap-friendly layout
+// described in the package documentation.
 func WriteSharded(dir string, s *Searcher, nShards int) error {
+	return WriteShardedWith(dir, s, nShards, WriteShardedOptions{})
+}
+
+// WriteShardedWith is WriteSharded with an explicit format version and
+// block size. Invalid options fail before any file is written.
+func WriteShardedWith(dir string, s *Searcher, nShards int, opts WriteShardedOptions) error {
 	if nShards < 1 {
 		nShards = 1
 	}
 	if nShards > maxShards {
 		return fmt.Errorf("index write: %d shards exceeds the %d-shard limit", nShards, maxShards)
 	}
+	version := opts.FormatVersion
+	if version == 0 {
+		version = flatFormatVersion2
+	}
+	if version != flatFormatVersion && version != flatFormatVersion2 {
+		return fmt.Errorf("index write: flat format version %d not supported, this build writes %d (%s) and %d (%s)",
+			version, flatFormatVersion, flatMagic, flatFormatVersion2, flatMagicV2)
+	}
+	blockSize := opts.BlockSize
+	if version == flatFormatVersion2 {
+		if blockSize == 0 {
+			blockSize = DefaultBlockSize
+		}
+		if blockSize <= 0 {
+			return fmt.Errorf("index write: flat format v2 (%s) requires a positive block size, got %d", flatMagicV2, opts.BlockSize)
+		}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("index write: %w", err)
 	}
 	ss := NewShardedFromSearcher(s, nShards)
+	for g, sh := range ss.shards {
+		for f := 0; f < int(numFields); f++ {
+			if n := len(sh.docs[f]); n > maxSectionInt32 {
+				return fmt.Errorf("index write: flat format v%d: shard %d field %s has %d postings, over the int32 section-offset bound (%d); rebuild with more shards",
+					version, g, Field(f), n, maxSectionInt32)
+			}
+		}
+	}
 	idOffs, idBlob := packStrings(s.ids)
-	err := writeFlatFile(filepath.Join(dir, DocsFileName), kindDocs, 0, uint32(nShards),
+	err := writeFlatFile(filepath.Join(dir, DocsFileName), uint32(version), 0, kindDocs, 0, uint32(nShards),
 		uint64(s.numDocs), 0, []section{
 			{secIDOffs, int64Bytes(idOffs)},
 			{secIDBlob, idBlob},
@@ -213,7 +286,22 @@ func WriteSharded(dir string, s *Searcher, nShards int) error {
 				section{secFieldWts(f), float32Bytes(sh.wts[f])},
 			)
 		}
-		err := writeFlatFile(filepath.Join(dir, shardFileName(g)), kindPostings,
+		shardBlockSize := 0
+		if version == flatFormatVersion2 {
+			shardBlockSize = blockSize
+			if sh.blockSize != blockSize {
+				sh.computeBlocks(blockSize)
+			}
+			for f := 0; f < int(numFields); f++ {
+				secs = append(secs,
+					section{secFieldBlkOff(f), int32Bytes(sh.blkOff[f])},
+					section{secFieldBlkMax(f), float32Bytes(sh.blkMax[f])},
+					section{secFieldBlkDoc(f), int32Bytes(sh.blkDoc[f])},
+					section{secFieldFieldMax(f), float32Bytes(sh.fieldMaxW[f])},
+				)
+			}
+		}
+		err := writeFlatFile(filepath.Join(dir, shardFileName(g)), uint32(version), uint32(shardBlockSize), kindPostings,
 			uint32(g), uint32(nShards), uint64(s.numDocs), uint64(sh.numTerms), secs)
 		if err != nil {
 			return fmt.Errorf("index write: %w", err)
@@ -265,6 +353,7 @@ func openSharded(dir string, noMmap bool) (*ShardedSearcher, error) {
 		return fail(df.corrupt("doc-ID blob is %d bytes, offsets end at %d", len(ss.idBlob), ss.idOffs[ss.numDocs]))
 	}
 	ss.shards = make([]*shard, ss.shardCount)
+	ss.shardPruned = make([]atomic.Uint64, ss.shardCount)
 	for g := 0; g < ss.shardCount; g++ {
 		pf, err := openFlatFile(filepath.Join(dir, shardFileName(g)), noMmap)
 		if err != nil {
@@ -328,6 +417,36 @@ func openShardFile(pf *flatFile, g, shardCount, numDocs int) (*shard, error) {
 		}
 		if sh.wts[f], err = pf.float32Sec(secFieldWts(f), count); err != nil {
 			return nil, err
+		}
+	}
+	if pf.version >= flatFormatVersion2 {
+		// v2: block-max summaries. Validation stays O(1) in corpus size —
+		// section byte counts are cross-checked against the block counts
+		// declared by the last blkOff entry.
+		if pf.blockSize <= 0 {
+			return nil, pf.corrupt("flat v2 header declares block size %d, want > 0", pf.blockSize)
+		}
+		sh.blockSize = pf.blockSize
+		for f := 0; f < int(numFields); f++ {
+			if sh.blkOff[f], err = pf.int32Sec(secFieldBlkOff(f), sh.numTerms+1); err != nil {
+				return nil, err
+			}
+			nb := 0
+			if sh.numTerms > 0 {
+				nb = int(sh.blkOff[f][sh.numTerms])
+			}
+			if nb < 0 {
+				return nil, pf.corrupt("field %s declares %d posting blocks", Field(f), nb)
+			}
+			if sh.blkMax[f], err = pf.float32Sec(secFieldBlkMax(f), nb); err != nil {
+				return nil, err
+			}
+			if sh.blkDoc[f], err = pf.int32Sec(secFieldBlkDoc(f), nb); err != nil {
+				return nil, err
+			}
+			if sh.fieldMaxW[f], err = pf.float32Sec(secFieldFieldMax(f), sh.numTerms); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return sh, nil
@@ -415,13 +534,16 @@ type termRef struct {
 
 // shardedScratch is the pooled per-probe state: the dense accumulator
 // (shared layout with the single-shard Searcher) plus the scatter-side
-// buffers (token dedup, per-shard token groups, resolved refs).
+// buffers (token dedup, per-shard token groups, resolved refs, and the
+// pruning pre-pass's shard ordering).
 type shardedScratch struct {
 	acc       accumulator
 	seen      map[string]bool
 	refs      []termRef
 	groups    [][]string
 	shardRefs [][]termRef
+	order     []int     // shards with refs, sorted by descending bound
+	bounds    []float64 // per entry of order: shard score upper bound
 }
 
 func (ss *ShardedSearcher) getScratch() *shardedScratch {
@@ -435,12 +557,7 @@ func (ss *ShardedSearcher) getScratch() *shardedScratch {
 		a.gen = make([]uint32, ss.numDocs)
 		a.cur = 0
 	}
-	a.cur++
-	if a.cur == 0 { // generation counter wrapped: hard reset
-		clear(a.gen)
-		a.cur = 1
-	}
-	a.touched = a.touched[:0]
+	a.nextGen()
 	if sc.seen == nil {
 		sc.seen = make(map[string]bool, 16)
 	}
@@ -455,20 +572,30 @@ func (ss *ShardedSearcher) getScratch() *shardedScratch {
 // prefetchSink defeats dead-code elimination of the page-prefault loads.
 var prefetchSink atomic.Uint64
 
-// resolve is the per-shard scatter step: look up each token in the
-// shard's term table and prefault its posting pages (one load per 4KiB),
-// so cold pages of different shards fault in concurrently instead of
-// serially inside the gather loop.
-func (sh *shard) resolve(toks []string, out []termRef) []termRef {
-	var touch uint64
+// resolve is the per-shard scatter step: look up each token in the shard's
+// term table and, when prefault is set, touch its posting pages (one load
+// per 4KiB) so cold pages of different shards fault in concurrently
+// instead of serially inside the gather loop. The pruning pre-pass
+// resolves first and prefaults only the shards that survive.
+func (sh *shard) resolve(toks []string, out []termRef, prefault bool) []termRef {
+	start := len(out)
 	for _, tok := range toks {
-		tid, ok := sh.lookup(tok)
-		if !ok {
-			continue
+		if tid, ok := sh.lookup(tok); ok {
+			out = append(out, termRef{tok: tok, sh: sh, tid: tid})
 		}
-		out = append(out, termRef{tok: tok, sh: sh, tid: tid})
+	}
+	if prefault {
+		sh.prefault(out[start:])
+	}
+	return out
+}
+
+// prefault touches the posting pages of already-resolved refs.
+func (sh *shard) prefault(refs []termRef) {
+	var touch uint64
+	for _, r := range refs {
 		for f := 0; f < int(numFields); f++ {
-			lo, hi := sh.off[f][tid], sh.off[f][tid+1]
+			lo, hi := sh.off[f][r.tid], sh.off[f][r.tid+1]
 			for p := lo; p < hi; p += 1024 { // 1024 int32s per 4KiB page
 				touch += uint64(sh.docs[f][p]) + uint64(math.Float32bits(sh.wts[f][p]))
 			}
@@ -480,19 +607,44 @@ func (sh *shard) resolve(toks []string, out []termRef) []termRef {
 	if touch != 0 {
 		prefetchSink.Add(touch)
 	}
-	return out
 }
 
+// passAShardCap bounds how many shards the floor-seeding pre-pass scores:
+// on a skewed corpus the top-bound shard alone sets a floor that prunes
+// the rest, and on a uniform corpus scanning more shards twice would cost
+// more than the pruning saves.
+const passAShardCap = 2
+
+// passASkewFactor is the bound-skew threshold arming the pre-pass: the
+// top shard's score bound must exceed the weakest involved shard's by this
+// factor before the double scan of the top shards can plausibly pay for
+// itself in pruned prefaults and closed blocks.
+const passASkewFactor = 4
+
 // Search scores a union-of-keywords query and returns the top k hits (all
-// hits when k <= 0), bit-identical to the single-shard Searcher: the
-// scatter phase fans term resolution and page prefaulting out across
-// shards, and the gather phase accumulates in canonical lexicographic
-// term order with the same max-score admission skip, top-k selection and
-// tie-breaks. The skip block below is a deliberate copy of
-// Searcher.Search — keep both in lockstep.
+// hits when k <= 0), bit-identical to the single-shard Searcher at every
+// shard count.
 func (ss *ShardedSearcher) Search(tokens []string, k int) []Hit {
+	hits, _ := ss.SearchStats(tokens, k)
+	return hits
+}
+
+// SearchStats is Search plus the probe's skip and shard-pruning counters.
+//
+// The scatter phase resolves each involved shard's terms concurrently.
+// When every shard carries block summaries and k > 0, a floor-seeding
+// pre-pass then scores the highest-bound shard(s) into a throwaway
+// accumulator generation: shards whose score upper bound cannot beat the
+// resulting floor are pruned — never prefaulted — while the survivors
+// prefault their posting pages concurrently. The main gather accumulates
+// every resolved term (pruned shards included: their terms still
+// contribute to documents shared with other shards) in canonical
+// lexicographic order with the threshold preseeded to the floor, so
+// pruned shards' lists open as closed blocks and are mostly skipped.
+func (ss *ShardedSearcher) SearchStats(tokens []string, k int) ([]Hit, ProbeStats) {
+	var st ProbeStats
 	if len(tokens) == 0 || ss.numDocs == 0 {
-		return nil
+		return nil, st
 	}
 	sc := ss.getScratch()
 	defer ss.pool.Put(sc)
@@ -515,9 +667,24 @@ func (ss *ShardedSearcher) Search(tokens []string, k int) []Hit {
 		sc.groups[g] = append(sc.groups[g], tok)
 	}
 
-	// Scatter: resolve and prefault each involved shard concurrently.
-	// Every goroutine writes only its own shardRefs slot.
-	if active > 1 {
+	// The pre-pass needs block summaries everywhere: without them the main
+	// gather would rescan pruned shards' postings in full and the pre-pass
+	// would be pure overhead. v1 indexes scatter exactly as before.
+	pruning := k > 0 && active > 1
+	for g := range sc.groups {
+		if len(sc.groups[g]) > 0 && !ss.shards[g].hasBlocks() {
+			pruning = false
+			break
+		}
+	}
+
+	// Scatter. With a pruning pre-pass ahead, resolution is lookup-only (a
+	// few binary searches per shard) — run it serially rather than pay a
+	// goroutine wave; the page prefaulting that justifies fan-out happens
+	// after the prune decision, for surviving shards only. Without the
+	// pre-pass, resolve and prefault each involved shard concurrently as
+	// before. Every goroutine writes only its own shardRefs slot.
+	if active > 1 && !pruning {
 		var wg sync.WaitGroup
 		for g := range sc.groups {
 			if len(sc.groups[g]) == 0 {
@@ -526,77 +693,190 @@ func (ss *ShardedSearcher) Search(tokens []string, k int) []Hit {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
-				sc.shardRefs[g] = ss.shards[g].resolve(sc.groups[g], sc.shardRefs[g])
+				sc.shardRefs[g] = ss.shards[g].resolve(sc.groups[g], sc.shardRefs[g], true)
 			}(g)
 		}
 		wg.Wait()
 	} else {
 		for g := range sc.groups {
 			if len(sc.groups[g]) > 0 {
-				sc.shardRefs[g] = ss.shards[g].resolve(sc.groups[g], sc.shardRefs[g])
+				sc.shardRefs[g] = ss.shards[g].resolve(sc.groups[g], sc.shardRefs[g], !pruning)
 			}
 		}
 	}
+
+	floor := math.Inf(-1)
+	if pruning {
+		floor = ss.passA(sc, k, &st)
+	} else {
+		for g := range sc.groups {
+			if len(sc.groups[g]) > 0 {
+				st.ShardsProbed++
+			}
+		}
+	}
+
 	refs := sc.refs[:0]
 	for _, rs := range sc.shardRefs {
 		refs = append(refs, rs...)
 	}
 	sc.refs = refs
 	if len(refs) == 0 {
-		return nil
+		return nil, st
 	}
-	// Gather in canonical lexicographic term order — exactly the order the
-	// single-shard Searcher and the reference scorer accumulate in, so
-	// per-document float64 sums are bit-identical.
-	sort.Slice(refs, func(i, j int) bool { return refs[i].tok < refs[j].tok })
+	// Gather in canonical term order — df ascending, token ascending on
+	// ties, exactly the order the single-shard Searcher and the reference
+	// scorer accumulate in, so per-document float64 sums are bit-identical.
+	sortRefs(refs)
+	gather(&sc.acc, refs, k, floor, &st)
+	return ss.collect(&sc.acc, k), st
+}
 
+// passA is the floor-seeding pre-pass: rank shards by their score upper
+// bound (the sum of their resolved terms' max-scores), score the top
+// shard(s) into a throwaway accumulator generation, and prune the scatter
+// of every shard whose bound cannot beat the established floor. Pruning is
+// a prefault decision only — the main gather still sees every resolved
+// term — so a too-aggressive floor can cost speed, never correctness. The
+// returned floor is a valid lower bound on the kth-best final score: it is
+// the kth-largest sum of real (partial) contributions. Shards neither
+// scanned nor pruned prefault concurrently before this returns.
+func (ss *ShardedSearcher) passA(sc *shardedScratch, k int, st *ProbeStats) float64 {
+	sc.order = sc.order[:0]
+	sc.bounds = sc.bounds[:0]
+	for g := range sc.shardRefs {
+		if len(sc.shardRefs[g]) == 0 {
+			continue
+		}
+		b := 0.0
+		for _, r := range sc.shardRefs[g] {
+			b += r.sh.maxScore[r.tid]
+		}
+		sc.order = append(sc.order, g)
+		sc.bounds = append(sc.bounds, b)
+	}
+	sort.Sort(&shardsByBound{sc.order, sc.bounds})
+
+	floor := math.Inf(-1)
 	acc := &sc.acc
-	if cap(acc.suffix) < len(refs)+1 {
-		acc.suffix = make([]float64, len(refs)+1)
+	scanned := 0
+	prunedFrom := len(sc.order)
+	// Bound-skew gate: the pre-pass rescans its top shards, so it only pays
+	// when the bound profile is skewed — a floor built from the top shard's
+	// real scores has to plausibly beat the weakest shard's bound. On a flat
+	// profile (every shard could reach comparable scores) no floor can prune
+	// anything, and the pre-pass would be pure double work: fall through to
+	// an ordinary prefault of every involved shard.
+	if n := len(sc.order); n > 1 && sc.bounds[0] > passASkewFactor*sc.bounds[n-1] {
+		var subStats ProbeStats // pre-pass work is not part of Postings totals
+		for idx, g := range sc.order {
+			if floor > sc.bounds[idx]+1e-9 {
+				// Neither this shard nor any lower-bound one can lift a new
+				// document into the top k on its own: skip their prefault.
+				prunedFrom = idx
+				break
+			}
+			if scanned >= passAShardCap {
+				continue // bound not beaten, but pre-pass budget spent
+			}
+			scanned++
+			rs := sc.shardRefs[g]
+			sortRefs(rs)
+			gather(acc, rs, k, floor, &subStats)
+			if len(acc.touched) >= k {
+				if t := acc.kthLargest(k); t > floor {
+					floor = t
+				}
+			}
+		}
+		st.Scanned += subStats.Scanned
+		st.BlocksTotal += subStats.BlocksTotal
+		st.BlocksSkipped += subStats.BlocksSkipped
 	}
-	suffix := acc.suffix[:len(refs)+1]
-	acc.suffix = suffix
-	suffix[len(refs)] = 0
-	for i := len(refs) - 1; i >= 0; i-- {
-		suffix[i] = suffix[i+1] + refs[i].sh.maxScore[refs[i].tid]
+	st.ShardsPruned = len(sc.order) - prunedFrom
+	st.ShardsProbed = prunedFrom
+
+	// Prune the tail; prefault the surviving shards the pre-pass did not
+	// already warm, concurrently as the plain scatter would have.
+	for _, g := range sc.order[prunedFrom:] {
+		ss.shardPruned[g].Add(1)
+	}
+	survivors := sc.order[:prunedFrom]
+	need := 0
+	for idx := range survivors {
+		if idx >= scanned {
+			need++
+		}
+	}
+	if need == 1 {
+		// One cold shard: faulting it from this goroutine is cheaper than
+		// spawning one.
+		for idx, g := range survivors {
+			if idx >= scanned {
+				ss.shards[g].prefault(sc.shardRefs[g])
+			}
+		}
+	} else if need > 1 {
+		var wg sync.WaitGroup
+		for idx, g := range survivors {
+			if idx < scanned {
+				continue // pre-pass scan already faulted these pages in
+			}
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ss.shards[g].prefault(sc.shardRefs[g])
+			}(g)
+		}
+		wg.Wait()
 	}
 
-	updateOnly := false
-	threshold := math.Inf(-1)
-	touchedAtThreshold := -1
-	for i, r := range refs {
-		if k > 0 && !updateOnly && len(acc.touched) >= k {
-			// Same admission bound as Searcher.Search: the kth largest
-			// partial score only grows, so once it clears what any unseen
-			// document could still reach, stop registering new candidates.
-			if threshold > suffix[i]+1e-9 {
-				updateOnly = true
-			} else if touchedAtThreshold < 0 || len(acc.touched) > touchedAtThreshold+touchedAtThreshold/4 {
-				threshold = acc.kthLargest(k)
-				touchedAtThreshold = len(acc.touched)
-				if threshold > suffix[i]+1e-9 {
-					updateOnly = true
-				}
-			}
+	// Fresh generation for the canonical main gather; the pre-pass floor
+	// carries over as the preseeded admission threshold.
+	acc.nextGen()
+	return floor
+}
+
+// sortRefs puts resolved term refs into the canonical accumulation order:
+// df ascending, token ascending on ties (the same order the reference
+// scorer and the single-shard Searcher use — per-document float64 sums
+// depend on it).
+func sortRefs(refs []termRef) {
+	slices.SortFunc(refs, func(a, b termRef) int {
+		if da, db := a.sh.df[a.tid], b.sh.df[b.tid]; da != db {
+			return int(da - db)
 		}
-		idf := r.sh.idf[r.tid]
-		for f := 0; f < int(numFields); f++ {
-			lo, hi := r.sh.off[f][r.tid], r.sh.off[f][r.tid+1]
-			ds := r.sh.docs[f][lo:hi]
-			ws := r.sh.wts[f][lo:hi]
-			for j, d := range ds {
-				w := idf * float64(ws[j])
-				if acc.gen[d] == acc.cur {
-					acc.score[d] += w
-				} else if !updateOnly {
-					acc.gen[d] = acc.cur
-					acc.score[d] = w
-					acc.touched = append(acc.touched, d)
-				}
-			}
-		}
+		return strings.Compare(a.tok, b.tok)
+	})
+}
+
+// shardsByBound sorts shard indices by descending bound, shard index
+// ascending on ties — a deterministic pre-pass order.
+type shardsByBound struct {
+	order  []int
+	bounds []float64
+}
+
+func (s *shardsByBound) Len() int { return len(s.order) }
+func (s *shardsByBound) Less(i, j int) bool {
+	if s.bounds[i] != s.bounds[j] {
+		return s.bounds[i] > s.bounds[j]
 	}
-	return ss.collect(acc, k)
+	return s.order[i] < s.order[j]
+}
+func (s *shardsByBound) Swap(i, j int) {
+	s.order[i], s.order[j] = s.order[j], s.order[i]
+	s.bounds[i], s.bounds[j] = s.bounds[j], s.bounds[i]
+}
+
+// ShardPruneCounts returns, per shard, how many probes pruned that shard's
+// scatter since the searcher was opened.
+func (ss *ShardedSearcher) ShardPruneCounts() []uint64 {
+	out := make([]uint64, len(ss.shardPruned))
+	for i := range ss.shardPruned {
+		out[i] = ss.shardPruned[i].Load()
+	}
+	return out
 }
 
 // worseDoc mirrors Searcher.worseDoc over the shared doc table.
@@ -621,7 +901,7 @@ func (ss *ShardedSearcher) collect(acc *accumulator, k int) []Hit {
 	for i, d := range winners {
 		hits[i] = Hit{ID: ss.IDOf(d), Score: acc.score[d]}
 	}
-	sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
+	slices.SortFunc(hits, cmpHits)
 	return hits
 }
 

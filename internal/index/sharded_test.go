@@ -33,32 +33,44 @@ func sameHitsBitIdentical(t *testing.T, want, got []Hit, ctx string) {
 	}
 }
 
-// shardedVariants returns the three construction paths for n shards — pure
-// in-memory partitioning, the mmap-opened flat index, and the forced
-// read-into-memory fallback — with cleanup registered on t.
+// shardedVariants returns the construction paths for n shards — pure
+// in-memory partitioning, the mmap-opened flat index and the forced
+// read-into-memory fallback for both the block-max v2 format and the
+// summary-less v1 format — with cleanup registered on t. Every variant
+// must stay bit-identical: v2 paths exercise block-max skipping and shard
+// pruning, v1 paths pin the term-level-only fallback.
 func shardedVariants(t *testing.T, s *Searcher, n int) map[string]*ShardedSearcher {
 	t.Helper()
-	dir := t.TempDir()
-	if err := WriteSharded(dir, s, n); err != nil {
-		t.Fatal(err)
+	out := map[string]*ShardedSearcher{"memory": NewShardedFromSearcher(s, n)}
+	for _, v := range []int{2, 1} {
+		dir := t.TempDir()
+		if err := WriteShardedWith(dir, s, n, WriteShardedOptions{FormatVersion: v}); err != nil {
+			t.Fatal(err)
+		}
+		mm, err := OpenSharded(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mm.Mmapped() {
+			t.Fatalf("OpenSharded did not map the files")
+		}
+		rd, err := openSharded(dir, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mm.Close(); rd.Close() })
+		for g := 0; g < n; g++ {
+			if got := mm.shards[g].hasBlocks(); got != (v == 2) {
+				t.Fatalf("v%d shard %d: hasBlocks() = %v", v, g, got)
+			}
+		}
+		if v == 2 {
+			out["mmap"], out["nommap"] = mm, rd
+		} else {
+			out["mmap-v1"], out["nommap-v1"] = mm, rd
+		}
 	}
-	mm, err := OpenSharded(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !mm.Mmapped() {
-		t.Fatalf("OpenSharded did not map the files")
-	}
-	rd, err := openSharded(dir, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { mm.Close(); rd.Close() })
-	return map[string]*ShardedSearcher{
-		"memory": NewShardedFromSearcher(s, n),
-		"mmap":   mm,
-		"nommap": rd,
-	}
+	return out
 }
 
 // TestShardedSearcherEquivalence: for every shard count, every construction
@@ -384,6 +396,80 @@ func TestOpenShardedErrors(t *testing.T) {
 		}
 		expectOpenError(t, dir, "different builds")
 	})
+	t.Run("v2 zero block size", func(t *testing.T) {
+		// A v2 postings file whose header declares block size 0 is corrupt:
+		// the block geometry would be undefined.
+		dir, _ := writeShardedDir(t, 1)
+		path := filepath.Join(dir, shardFileName(0))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[44], data[45], data[46], data[47] = 0, 0, 0, 0 // block-size field
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "block size 0")
+	})
+	t.Run("v2 missing block sections", func(t *testing.T) {
+		// A v1-bodied postings file whose header claims v2 must fail on the
+		// absent block-summary sections, not open with silent misbehavior.
+		ix, _ := buildRandCorpus(t, 99, 12)
+		s := NewSearcher(ix)
+		dir := t.TempDir()
+		if err := WriteShardedWith(dir, s, 1, WriteShardedOptions{FormatVersion: 1}); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, shardFileName(0))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(data[:8], flatMagicV2)
+		data[8] = flatFormatVersion2 // version field (little-endian u32)
+		data[44] = DefaultBlockSize  // block-size field
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectOpenError(t, dir, "missing section 32")
+	})
+}
+
+// TestWriteShardedWithErrors: invalid write options and over-limit corpora
+// must fail with precise versioned errors before any file is written.
+func TestWriteShardedWithErrors(t *testing.T) {
+	ix, _ := buildRandCorpus(t, 99, 12)
+	s := NewSearcher(ix)
+	expectWriteError := func(t *testing.T, opts WriteShardedOptions, want string) {
+		t.Helper()
+		dir := t.TempDir()
+		err := WriteShardedWith(dir, s, 1, opts)
+		if err == nil {
+			t.Fatalf("WriteShardedWith succeeded, want error mentioning %q", want)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+		ents, derr := os.ReadDir(dir)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("failed write left %d file(s) behind: %v", len(ents), ents)
+		}
+	}
+	t.Run("unsupported version", func(t *testing.T) {
+		expectWriteError(t, WriteShardedOptions{FormatVersion: 3}, "version 3 not supported")
+	})
+	t.Run("negative block size", func(t *testing.T) {
+		expectWriteError(t, WriteShardedOptions{BlockSize: -4}, "requires a positive block size, got -4")
+	})
+	t.Run("postings over section bound", func(t *testing.T) {
+		old := maxSectionInt32
+		maxSectionInt32 = 8 // force the int32 section-offset bound down
+		defer func() { maxSectionInt32 = old }()
+		expectWriteError(t, WriteShardedOptions{}, "over the int32 section-offset bound")
+	})
 }
 
 // TestGobHeaderErrors: the gob snapshots' magic/version headers must
@@ -482,7 +568,7 @@ func TestTermStatsEquivalence(t *testing.T) {
 	s := NewSearcher(ix)
 	for _, n := range []int{1, 2, 3, 8} {
 		for name, ss := range shardedVariants(t, s, n) {
-			for _, tok := range s.names {
+			for _, tok := range s.sh.names {
 				wdf, wpost, wok := ix.TermStats(tok)
 				sdf, spost, sok := s.TermStats(tok)
 				gdf, gpost, gok := ss.TermStats(tok)

@@ -32,7 +32,7 @@ func checkGobHeader(r io.Reader, magic, what, path string) error {
 	}
 	if got := string(hdr[:8]); got != magic {
 		switch got {
-		case flatMagic:
+		case flatMagic, flatMagicV2:
 			return fmt.Errorf("%s load %s: this is a flat sharded index file; open its directory with index.OpenSharded instead", what, path)
 		case gobIndexMagic:
 			return fmt.Errorf("%s load %s: this is a wwt index snapshot, not a %s; open it with index.Load", what, path, what)

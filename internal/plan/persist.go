@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// CoeffsVersion is the schema version of the planner-coefficient sidecar.
+// Bump it whenever Snapshot's meaning changes; Restore rejects other
+// versions so a stale sidecar degrades to a cold start, never to silently
+// wrong estimates.
+const CoeffsVersion = 1
+
+// Coef is one persisted cost coefficient: its decayed value and how many
+// observations shaped it.
+type Coef struct {
+	V float64 `json:"v"`
+	N uint64  `json:"n"`
+}
+
+// Snapshot is the JSON-serializable state of an Estimator's calibration —
+// the tiny sidecar wwt-serve writes next to the index on drain so a
+// restart resumes with a warm cost model instead of recalibrating from
+// zero.
+type Snapshot struct {
+	Version int     `json:"version"`
+	Alpha   float64 `json:"alpha"`
+	Probe1  Coef    `json:"probe1"`
+	Skip    Coef    `json:"skip"`
+	Read    Coef    `json:"read"`
+	Probe2  Coef    `json:"probe2"`
+	Build   Coef    `json:"build"`
+	Infer   []Coef  `json:"infer"`
+	Cons    Coef    `json:"cons"`
+	ErrRel  Coef    `json:"err_rel"`
+}
+
+func toCoef(c coef) Coef   { return Coef{V: c.v, N: c.n} }
+func fromCoef(c Coef) coef { return coef{v: c.V, n: c.N} }
+
+// Snapshot captures the estimator's current calibration.
+func (e *Estimator) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Snapshot{
+		Version: CoeffsVersion,
+		Alpha:   e.alpha,
+		Probe1:  toCoef(e.probe1),
+		Skip:    toCoef(e.skip),
+		Read:    toCoef(e.read),
+		Probe2:  toCoef(e.probe2),
+		Build:   toCoef(e.build),
+		Cons:    toCoef(e.cons),
+		ErrRel:  toCoef(e.errRel),
+		Infer:   make([]Coef, len(e.infer)),
+	}
+	for i, c := range e.infer {
+		s.Infer[i] = toCoef(c)
+	}
+	return s
+}
+
+// Restore replaces the estimator's calibration with a snapshot. The
+// snapshot must carry the current CoeffsVersion; algorithm slots beyond
+// the estimator's own stay cold, and missing ones keep their zero value.
+func (e *Estimator) Restore(s Snapshot) error {
+	if s.Version != CoeffsVersion {
+		return fmt.Errorf("plan: coefficient snapshot version %d, this build supports %d; delete the sidecar to recalibrate", s.Version, CoeffsVersion)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.probe1 = fromCoef(s.Probe1)
+	e.skip = fromCoef(s.Skip)
+	e.read = fromCoef(s.Read)
+	e.probe2 = fromCoef(s.Probe2)
+	e.build = fromCoef(s.Build)
+	e.cons = fromCoef(s.Cons)
+	e.errRel = fromCoef(s.ErrRel)
+	for i := range e.infer {
+		if i < len(s.Infer) {
+			e.infer[i] = fromCoef(s.Infer[i])
+		} else {
+			e.infer[i] = coef{}
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the calibration snapshot to path atomically (temp file +
+// rename in the destination directory).
+func (e *Estimator) SaveFile(path string) error {
+	data, err := json.MarshalIndent(e.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("plan: encode coefficients: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".plan-coeffs-*.json")
+	if err != nil {
+		return fmt.Errorf("plan: save coefficients: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("plan: save coefficients %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("plan: save coefficients %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("plan: save coefficients: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores the calibration from a sidecar written by SaveFile.
+// A missing file is not an error (the estimator just starts cold); a
+// present-but-unreadable or version-mismatched one is.
+func (e *Estimator) LoadFile(path string) (loaded bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("plan: load coefficients: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return false, fmt.Errorf("plan: load coefficients %s: %w", path, err)
+	}
+	if err := e.Restore(s); err != nil {
+		return false, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return true, nil
+}

@@ -86,11 +86,15 @@ type Features struct {
 // fire reports Probe2Ran=false and those stages are not calibrated from
 // it.
 type Sample struct {
-	Postings  int // posting entries under the probe-1 terms
-	Tables1   int // candidate tables after read1
-	Tables    int // final candidate tables (after read2)
-	Alg       int // inference algorithm actually run
-	Probe2Ran bool
+	Postings int // posting entries under the probe-1 terms
+	// PostingsScanned is how many posting entries the probe actually
+	// scored after block-max/term-level skips (0 when the probe surface
+	// reports no scan statistics, e.g. the map-based fallback scorer).
+	PostingsScanned int64
+	Tables1         int // candidate tables after read1
+	Tables          int // final candidate tables (after read2)
+	Alg             int // inference algorithm actually run
+	Probe2Ran       bool
 
 	Probe1, Read1, Probe2, Read2, Build, Infer, Cons time.Duration
 }
@@ -101,7 +105,8 @@ type Sample struct {
 type Estimator struct {
 	mu     sync.Mutex
 	alpha  float64
-	probe1 coef // ns per posting entry
+	probe1 coef // ns per scanned posting entry
+	skip   coef // scanned/total posting ratio after probe-layer skips
 	read   coef // ns per first-probe table
 	probe2 coef // ns per first-probe table (re-probe + read2, when fired)
 	build  coef // ns per final table
@@ -156,7 +161,17 @@ func (e *Estimator) Observe(s Sample) {
 	}
 
 	if s.Postings > 0 && s.Probe1 > 0 {
-		e.probe1.observe(float64(s.Probe1)/float64(s.Postings), e.alpha)
+		// Calibrate ns-per-posting against the work actually done: with
+		// scan statistics the coefficient is per scanned posting and the
+		// skip ratio predicts how much of the nominal work survives the
+		// probe-layer skips; without them both collapse to the old
+		// per-nominal-posting model (ratio stays unobserved → 1).
+		if s.PostingsScanned > 0 {
+			e.probe1.observe(float64(s.Probe1)/float64(s.PostingsScanned), e.alpha)
+			e.skip.observe(float64(s.PostingsScanned)/float64(s.Postings), e.alpha)
+		} else {
+			e.probe1.observe(float64(s.Probe1)/float64(s.Postings), e.alpha)
+		}
 	}
 	if s.Tables1 > 0 {
 		if s.Read1 > 0 {
@@ -190,7 +205,11 @@ func (e *Estimator) EstimateQuery(f Features, alg int, secondProbe bool) time.Du
 }
 
 func (e *Estimator) estimateQueryLocked(postings, tables, ai int, secondProbe bool) time.Duration {
-	ns := e.probe1.v * float64(postings)
+	work := float64(postings)
+	if e.skip.n > 0 {
+		work *= e.skip.v // predicted surviving fraction after skips
+	}
+	ns := e.probe1.v * work
 	ns += e.read.v * float64(tables)
 	if secondProbe {
 		ns += e.probe2.v * float64(tables)

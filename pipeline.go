@@ -89,6 +89,7 @@ type queryState struct {
 	popts    PlannerOptions
 	deadline time.Time
 	postings int
+	scanned  int64 // probe-1 postings actually scored (after skips)
 	tables1  int
 	elided   bool
 	degraded bool
@@ -177,7 +178,9 @@ func (e *Engine) stageProbe1(st *queryState, s *QueryScratch) (bool, error) {
 			}
 		}
 	}
-	st.hits1 = e.search(tokens, e.Opts.ProbeK)
+	var pst index.ProbeStats
+	st.hits1, pst = e.search(tokens, e.Opts.ProbeK)
+	st.scanned = pst.Scanned
 	return true, nil
 }
 
@@ -269,7 +272,7 @@ func (e *Engine) stageProbe2(st *queryState, s *QueryScratch) (bool, error) {
 		}
 	}
 	s.sample = sample
-	st.hits2 = e.search(sample, e.Opts.ProbeK)
+	st.hits2, _ = e.search(sample, e.Opts.ProbeK)
 	st.probe2Fired = true
 	return true, nil
 }
@@ -476,17 +479,18 @@ func (e *Engine) observePlan(st *queryState, tm *Timings) {
 		return
 	}
 	e.planner.Observe(plan.Sample{
-		Postings:  st.postings,
-		Tables1:   st.tables1,
-		Tables:    len(st.tables),
-		Alg:       int(st.algUsed),
-		Probe2Ran: st.probe2Fired,
-		Probe1:    tm.Probe1,
-		Read1:     tm.Read1,
-		Probe2:    tm.Probe2,
-		Read2:     tm.Read2,
-		Build:     tm.ColumnMap,
-		Infer:     tm.Infer,
-		Cons:      tm.Consolidate,
+		Postings:        st.postings,
+		PostingsScanned: st.scanned,
+		Tables1:         st.tables1,
+		Tables:          len(st.tables),
+		Alg:             int(st.algUsed),
+		Probe2Ran:       st.probe2Fired,
+		Probe1:          tm.Probe1,
+		Read1:           tm.Read1,
+		Probe2:          tm.Probe2,
+		Read2:           tm.Read2,
+		Build:           tm.ColumnMap,
+		Infer:           tm.Infer,
+		Cons:            tm.Consolidate,
 	})
 }

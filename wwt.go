@@ -319,6 +319,13 @@ type Engine struct {
 	planner      *plan.Estimator
 	planElided   atomic.Uint64
 	planDegraded atomic.Uint64
+
+	// Probe-pruning counters: cumulative block-max and shard-pruning
+	// outcomes across every index probe this engine ran (both pipeline
+	// probes; see index.ProbeStats). Exported through PlanStats.
+	probeBlocksTotal   atomic.Int64
+	probeBlocksSkipped atomic.Int64
+	probeShardsPruned  atomic.Uint64
 }
 
 // docSetSource is the doc-set probe surface shared by Index, Searcher and
@@ -422,15 +429,24 @@ func (e *Engine) Close() error {
 
 // search probes the sharded searcher when present, then the frozen
 // single-shard searcher, falling back to the map-based scorer for
-// zero-value engines constructed without a New* constructor.
-func (e *Engine) search(tokens []string, k int) []index.Hit {
-	if e.sharded != nil {
-		return e.sharded.Search(tokens, k)
+// zero-value engines constructed without a New* constructor. The probe's
+// skip/prune counters are folded into the engine totals and returned for
+// the planner's scanned-postings feature.
+func (e *Engine) search(tokens []string, k int) ([]index.Hit, index.ProbeStats) {
+	var hits []index.Hit
+	var st index.ProbeStats
+	switch {
+	case e.sharded != nil:
+		hits, st = e.sharded.SearchStats(tokens, k)
+	case e.searcher != nil:
+		hits, st = e.searcher.SearchStats(tokens, k)
+	default:
+		return e.Index.Search(tokens, k), st
 	}
-	if e.searcher != nil {
-		return e.searcher.Search(tokens, k)
-	}
-	return e.Index.Search(tokens, k)
+	e.probeBlocksTotal.Add(st.BlocksTotal)
+	e.probeBlocksSkipped.Add(st.BlocksSkipped)
+	e.probeShardsPruned.Add(uint64(st.ShardsPruned))
+	return hits, st
 }
 
 // builder returns a model builder wired to the engine's corpus statistics,
@@ -512,14 +528,30 @@ type PlanStats struct {
 	// Calibrated reports whether the estimator has observed enough
 	// queries under the engine's algorithm for estimates to be meaningful.
 	Calibrated bool
+	// ProbeBlocksSkipped / ProbeBlocksTotal count posting blocks the
+	// block-max skip pruned vs considered across every index probe (zero
+	// on v1 indexes, which carry no block summaries).
+	ProbeBlocksSkipped uint64
+	ProbeBlocksTotal   uint64
+	// ProbeShardsPruned counts shard scatters the floor-seeding pre-pass
+	// pruned; ShardPrunes breaks the same counter down per index shard
+	// (nil for single-shard engines).
+	ProbeShardsPruned uint64
+	ShardPrunes       []uint64
 }
 
 // PlanStats snapshots the planner counters and cost-model quality. Safe
 // for concurrent use; zero-value engines report all zeros.
 func (e *Engine) PlanStats() PlanStats {
 	st := PlanStats{
-		Probe2Elided: e.planElided.Load(),
-		Degraded:     e.planDegraded.Load(),
+		Probe2Elided:       e.planElided.Load(),
+		Degraded:           e.planDegraded.Load(),
+		ProbeBlocksSkipped: uint64(e.probeBlocksSkipped.Load()),
+		ProbeBlocksTotal:   uint64(e.probeBlocksTotal.Load()),
+		ProbeShardsPruned:  e.probeShardsPruned.Load(),
+	}
+	if e.sharded != nil {
+		st.ShardPrunes = e.sharded.ShardPruneCounts()
 	}
 	if e.planner != nil {
 		st.CostError = e.planner.ErrorRate()
