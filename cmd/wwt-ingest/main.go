@@ -1,0 +1,83 @@
+// Command wwt-ingest pushes tables into a running wwt-serve daemon via
+// POST /v1/ingest: an HTML page (every extracted data table) or a CSV
+// file (one table, first record as header). The daemon freezes the batch
+// into a new index segment and hot-swaps the serving generation — no
+// restart, no dropped queries.
+//
+//	wwt-ingest -addr http://localhost:8080 -html page.html -url http://example.com/page
+//	wwt-ingest -addr http://localhost:8080 -csv rates.csv -id rates-2026 -title "Exchange rates"
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "wwt-serve base URL")
+	htmlPath := flag.String("html", "", "HTML page to extract tables from")
+	pageURL := flag.String("url", "", "source URL of the HTML page (mints table IDs; required with -html)")
+	csvPath := flag.String("csv", "", "CSV file to ingest as one table (first record is the header)")
+	id := flag.String("id", "", "corpus-unique table ID for -csv")
+	title := flag.String("title", "", "table title for -csv")
+	timeout := flag.Duration("timeout", 30*time.Second, "request timeout")
+	flag.Parse()
+	if flag.NArg() != 0 || (*htmlPath == "" && *csvPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: wwt-ingest -addr URL (-html FILE -url PAGEURL | -csv FILE -id ID [-title T])")
+		os.Exit(2)
+	}
+
+	req := map[string]any{}
+	if *htmlPath != "" {
+		if *pageURL == "" {
+			fatal(fmt.Errorf("-html requires -url"))
+		}
+		src, err := os.ReadFile(*htmlPath)
+		if err != nil {
+			fatal(err)
+		}
+		req["html"] = string(src)
+		req["url"] = *pageURL
+	}
+	if *csvPath != "" {
+		if *id == "" {
+			fatal(fmt.Errorf("-csv requires -id"))
+		}
+		data, err := os.ReadFile(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		req["csv"] = []map[string]string{{"id": *id, "title": *title, "data": string(data)}}
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post(strings.TrimRight(*addr, "/")+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(out))))
+	}
+	fmt.Printf("wwt-ingest: %s", out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wwt-ingest:", err)
+	os.Exit(1)
+}

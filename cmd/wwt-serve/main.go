@@ -30,6 +30,7 @@ import (
 	"wwt"
 	"wwt/internal/index"
 	"wwt/internal/inference"
+	"wwt/internal/plan"
 	"wwt/internal/serve"
 )
 
@@ -93,11 +94,7 @@ func main() {
 		coeffsPath = filepath.Join(*idxDir, "plan-coeffs.json")
 	}
 
-	st, err := index.LoadStore(filepath.Join(*idxDir, "store.gob"))
-	if err != nil {
-		fatal(err)
-	}
-	eng, form, err := openEngine(*idxDir, st, &opts)
+	eng, form, tables, err := openBackend(*idxDir, &opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -138,7 +135,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("wwt-serve: %d tables (%s), listening on %s\n", st.Len(), form, *addr)
+		fmt.Printf("wwt-serve: %d tables (%s), listening on %s\n", tables, form, *addr)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -171,27 +168,42 @@ func main() {
 	}
 }
 
-// openEngine prefers the flat sharded index (O(1) memory-mapped open),
-// falling back to the gob snapshot when the directory predates wwt-index's
-// flat output. It returns the engine plus a human-readable description of
-// which form loaded.
-func openEngine(dir string, st *index.Store, opts *wwt.Options) (*wwt.Engine, string, error) {
-	ss, err := index.OpenSharded(dir)
+// engineHandle is what main needs from either engine form: the serving
+// backend plus planner-sidecar and shutdown hooks.
+type engineHandle interface {
+	serve.Backend
+	Planner() *plan.Estimator
+	Close() error
+}
+
+// openBackend prefers the live segmented engine over the flat index
+// (manifest-aware, memory-mapped, POST /v1/ingest enabled), falling back
+// to the frozen gob snapshot when the directory predates wwt-index's
+// flat output. It returns the engine, a human-readable description of
+// which form loaded, and the serving table count.
+func openBackend(dir string, opts *wwt.Options) (engineHandle, string, int, error) {
+	le, err := wwt.OpenLive(dir, opts)
 	if err == nil {
-		form := fmt.Sprintf("flat index, %d shard(s)", ss.Shards())
-		if ss.Mmapped() {
-			form = fmt.Sprintf("flat mmap index, %d shard(s)", ss.Shards())
+		info := le.Info()
+		form := fmt.Sprintf("flat index, %d shard(s)", info.Shards)
+		if info.Mmapped {
+			form = fmt.Sprintf("flat mmap index, %d shard(s)", info.Shards)
 		}
-		return wwt.NewEngineFromSharded(ss, st, opts), form, nil
+		form += fmt.Sprintf(", live generation %d, %d segment(s)", info.Generation, info.Segments)
+		return le, form, info.Docs, nil
 	}
 	if !errors.Is(err, fs.ErrNotExist) {
-		return nil, "", err
+		return nil, "", 0, err
+	}
+	st, err := index.LoadStore(filepath.Join(dir, "store.gob"))
+	if err != nil {
+		return nil, "", 0, err
 	}
 	ix, err := index.Load(filepath.Join(dir, "index.gob"))
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
-	return wwt.NewEngineFrom(ix, st, opts), "gob index", nil
+	return wwt.NewEngineFrom(ix, st, opts), "gob index", st.Len(), nil
 }
 
 func fatal(err error) {

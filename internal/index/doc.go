@@ -121,6 +121,14 @@
 // Version 1 files open with no block summaries: probes fall back to the
 // term-level skip alone, bit-identical hits, no pruning counters.
 //
+// Postings shards may also carry section secBestWeight (id 24, float64,
+// numTerms entries): each term's best per-document cross-field weight sum
+// — the idf-free factor of the maxScore bound. Multi-segment probes need
+// it to restate a term's score bound under the corpus-global idf (bound =
+// global idf · bestWeight). Files written before the section derive a
+// safe overshoot from maxScore/idf at open; readers that predate it skip
+// the unknown section id — both directions stay compatible.
+//
 // On little-endian hosts with an aligned mapping the typed views are
 // zero-copy (unsafe.Slice over the mapped bytes); on big-endian hosts or
 // unaligned fallback reads each section is decoded element-wise into a
@@ -143,4 +151,57 @@
 // accumulating every resolved term in the canonical order above.
 // TestShardedSearcherEquivalence pins bit-identity for N ∈ {1, 2, 3, 8};
 // keep that invariant when touching either search loop.
+//
+// # Segments and the manifest: the live-index lifecycle
+//
+// A live index directory is a flat index plus an ordered list of frozen
+// segments, committed by a manifest (segment.go, multi.go):
+//
+//	idx/
+//	  MANIFEST.json           the committed generation (may be absent)
+//	  docs.wwt                base segment ("."): flat files + store
+//	  postings-NNN.wwt
+//	  store.gob
+//	  segments/seg-0000000000/   one ingest batch, frozen: a one-shard
+//	    docs.wwt                 flat index + its own store.gob
+//	    postings-000.wwt
+//	    store.gob
+//
+// MANIFEST.json is UTF-8 JSON: {"version": 1, "generation": G,
+// "segments": [...]}. Segment entries are paths relative to the index
+// root; "." names the base index. Entry order is canonical — global doc
+// numbers are assigned segment by segment in list order, so the manifest
+// fixes the doc-ID space, not just the file set. Absolute paths, empty
+// entries and ".." are rejected at read time.
+//
+// The manifest is the single commit point, written atomically: the JSON
+// goes to a CreateTemp file in the index directory, is fsynced, closed,
+// and renamed over MANIFEST.json. A reader therefore sees either the old
+// generation or the new one, never a torn file. Every other file in the
+// lifecycle is immutable once written: segment writes (SegmentWriter),
+// merges (MergeSegments) and the base index are create-only, so the
+// crash-recovery rule is simply "trust the manifest": a segment
+// directory not (or not yet) listed is an orphan from a crash between
+// flush and commit — ignored by OpenMultiSnapshot, its sequence number
+// never reused (the live engine scans segments/ before minting names).
+// A directory with no manifest at all is a plain frozen index; its
+// implicit manifest is generation 0 with segments ["."].
+//
+// Ingest appends: flush the batch as segments/seg-<next>, commit the
+// manifest with the entry appended and generation+1. Merge compacts:
+// write the union of a full tier as a new segment, commit with the
+// picked entries replaced (at the first picked position) by the merged
+// one, then unlink the inputs — readers still mapping them keep the
+// inodes alive. PlanMerge picks the lowest size tier (TierBase-ratio
+// buckets over doc counts) holding at least TierFanIn segments; the base
+// "." is never an input.
+//
+// MultiSearcher unions top-k across the listed segments with per-term
+// corpus-global statistics: df sums across segments, idf and the
+// max-score bound are restated from the summed df (via secBestWeight
+// above), and each segment gathers in the canonical term order, so a
+// partitioned corpus scores bit-identically to the same corpus rebuilt
+// as one index (TestMultiSearcherEquivalence, K ∈ {1, 2, 3, 8} × format
+// versions × open paths). Doc numbers remap by adding the segment's base
+// (sum of prior segment lengths).
 package index

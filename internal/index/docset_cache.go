@@ -56,6 +56,23 @@ func (c *DocSetCache) DocSet(tokens []string, fields ...Field) []int32 {
 	return c.c.Get(key, func() []int32 { return c.src.DocSet(tokens, fs...) })
 }
 
+// AdoptFrom migrates old's entries into c (a fresh cache of a new index
+// generation) and then evicts exactly the ones the generation change
+// staled — stale receives each key's token set and reports whether any of
+// its tokens could have gained members. Entries are re-inserted in LRU
+// order, preserving recency; surviving warm entries keep serving hits
+// across the swap. Valid only for append-only generation changes (doc
+// numbers of prior documents unchanged): a merge remaps doc numbers, so
+// merge swaps start cold instead. Returns entries adopted and evicted.
+func (c *DocSetCache) AdoptFrom(old *DocSetCache, stale func(tokens []string) bool) (adopted, evicted int) {
+	old.c.Each(func(k string, v []int32) {
+		c.c.Put(k, v)
+		adopted++
+	})
+	evicted = c.c.EvictIf(func(k string) bool { return stale(docSetKeyTokens(k)) })
+	return adopted, evicted
+}
+
 // Stats reports cumulative hit/miss counts.
 func (c *DocSetCache) Stats() (hits, misses uint64) { return c.c.Stats() }
 
@@ -107,6 +124,23 @@ func (c *ShardedDocSetCache) DocSet(tokens []string, fields ...Field) []int32 {
 	}
 	fs := append([]Field(nil), fields...) // see DocSetCache.DocSet
 	return sh.Get(key, func() []int32 { return c.src.DocSet(tokens, fs...) })
+}
+
+// AdoptFrom is DocSetCache.AdoptFrom for the sharded cache: old's entries
+// are re-routed by the new cache's shard count (generations can differ in
+// shard layout), then the staled keys are evicted in place. Same
+// append-only-generations contract. Returns entries adopted and evicted.
+func (c *ShardedDocSetCache) AdoptFrom(old *ShardedDocSetCache, stale func(tokens []string) bool) (adopted, evicted int) {
+	for _, osh := range old.shards {
+		osh.Each(func(k string, v []int32) {
+			c.shards[shardOfToken(k, len(c.shards))].Put(k, v)
+			adopted++
+		})
+	}
+	for _, sh := range c.shards {
+		evicted += sh.EvictIf(func(k string) bool { return stale(docSetKeyTokens(k)) })
+	}
+	return adopted, evicted
 }
 
 // Stats reports cumulative hit/miss counts summed over all shards.
@@ -178,4 +212,14 @@ func docSetKey(tokens []string, fields []Field) string {
 	ks.toks = toks
 	keyScratch.Put(ks)
 	return b.String()
+}
+
+// docSetKeyTokens recovers the sorted unique token set from a docSetKey —
+// the separator never occurs inside normalized tokens, so the split is
+// exact. Generation migration uses it to test keys for staleness.
+func docSetKeyTokens(key string) []string {
+	if len(key) <= 1 {
+		return nil
+	}
+	return strings.Split(key[1:], "\x1f")[1:]
 }

@@ -79,6 +79,13 @@ const (
 	secDF       = 7 // []int32, per term
 	// Per-field CSR sections: off / docs / wts for field f.
 	secFieldBase = 8 // + 3*f + {0: off, 1: docs, 2: wts}
+	// secBestWeight is the idf-free counterpart of secMaxScore: per term,
+	// the maximum per-document cross-field weight sum. A multi-segment
+	// probe rescales it by the corpus-global idf to get a valid bound;
+	// files written before this section existed derive it from
+	// maxScore/idf at open time, and readers that predate it ignore the
+	// unknown ID.
+	secBestWeight = 24 // []float64, per term
 )
 
 func secFieldOff(f int) uint32  { return uint32(secFieldBase + 3*f) }
@@ -441,6 +448,13 @@ func (ff *flatFile) Close() error {
 	c := ff.closer
 	ff.closer = nil
 	return c()
+}
+
+// hasSec reports whether a section is present — optional sections added
+// after version freeze are probed with this before reading.
+func (ff *flatFile) hasSec(id uint32) bool {
+	_, ok := ff.secs[id]
+	return ok
 }
 
 // sec returns a section payload, failing clearly when it is absent.

@@ -258,7 +258,7 @@ func gather(acc *accumulator, refs []termRef, k int, floor float64, st *ProbeSta
 	acc.suffix = suffix
 	suffix[n] = 0
 	for i := n - 1; i >= 0; i-- {
-		suffix[i] = suffix[i+1] + refs[i].sh.maxScore[refs[i].tid]
+		suffix[i] = suffix[i+1] + refs[i].maxS
 	}
 	acc.merged = 0
 	acc.liveBuilt = false
@@ -294,7 +294,7 @@ func gather(acc *accumulator, refs []termRef, k int, floor float64, st *ProbeSta
 			}
 		}
 		sh := r.sh
-		idf := sh.idf[r.tid]
+		idf := r.idf
 		active := threshold > math.Inf(-1) && k > 0
 		for f := 0; f < int(numFields); f++ {
 			lo, hi := sh.off[f][r.tid], sh.off[f][r.tid+1]

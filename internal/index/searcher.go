@@ -59,6 +59,7 @@ func NewSearcher(ix *Index) *Searcher {
 		names:    terms,
 		idf:      make([]float64, len(terms)),
 		maxScore: make([]float64, len(terms)),
+		bestW:    make([]float64, len(terms)),
 		df:       make([]int32, len(terms)),
 	}
 	s := &Searcher{
@@ -120,6 +121,7 @@ func NewSearcher(ix *Index) *Searcher {
 				best = sum
 			}
 		}
+		sh.bestW[ti] = best
 		sh.maxScore[ti] = sh.idf[ti] * best
 	}
 	sh.computeBlocks(DefaultBlockSize)
@@ -244,7 +246,9 @@ func (s *Searcher) SearchStats(tokens []string, k int) ([]Hit, ProbeStats) {
 	})
 	refs := acc.refs[:0]
 	for _, ti := range tids {
-		refs = append(refs, termRef{sh: s.sh, tid: ti})
+		r := termRef{sh: s.sh, tid: ti}
+		r.fill()
+		refs = append(refs, r)
 	}
 	acc.refs = refs
 	gather(acc, refs, k, math.Inf(-1), &st)

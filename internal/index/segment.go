@@ -1,0 +1,282 @@
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wwt/internal/wtable"
+)
+
+// This file is the segment layer of the live index: small frozen flat
+// indexes (segments) listed by an atomically committed manifest. A
+// segment is just a one-shard flat index directory plus its table store,
+// so the existing writer, reader and gather are reused verbatim; what is
+// new here is the lifecycle — build (SegmentWriter), list (Manifest),
+// and compact (PlanMerge / MergeSegments). MultiSearcher (multi.go)
+// unions searches across the listed segments.
+
+// StoreFileName is the gob table store each index directory and segment
+// carries alongside its flat files.
+const StoreFileName = "store.gob"
+
+// ManifestFileName is the segment list of a live index directory. It is
+// committed atomically (write temp file, fsync, rename), so readers see
+// either the old or the new generation, never a partial one. A directory
+// without a manifest is a plain frozen index: its implicit manifest is
+// generation 0 with the directory itself as the only segment.
+const ManifestFileName = "MANIFEST.json"
+
+// SegmentsDirName is the subdirectory holding ingested segments.
+const SegmentsDirName = "segments"
+
+// manifestFormatVersion is the manifest schema version.
+const manifestFormatVersion = 1
+
+// Manifest is the committed state of a live index: an ordered list of
+// segment directories (relative to the index root; "." is the base index
+// the directory was originally built with) and a generation counter that
+// increases with every commit. Segment order is canonical: global doc
+// numbers are assigned segment by segment in list order.
+type Manifest struct {
+	Version    int      `json:"version"`
+	Generation uint64   `json:"generation"`
+	Segments   []string `json:"segments"`
+}
+
+// clone returns a deep copy safe to mutate for the next commit.
+func (m *Manifest) clone() Manifest {
+	out := *m
+	out.Segments = append([]string(nil), m.Segments...)
+	return out
+}
+
+// ReadManifest reads dir's manifest. ok is false when none exists (a
+// plain frozen index directory).
+func ReadManifest(dir string) (Manifest, bool, error) {
+	var m Manifest
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return m, false, nil
+		}
+		return m, false, fmt.Errorf("manifest read: %w", err)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, false, fmt.Errorf("manifest read %s: %w", dir, err)
+	}
+	if m.Version != manifestFormatVersion {
+		return m, false, fmt.Errorf("manifest read %s: version %d, this build supports %d", dir, m.Version, manifestFormatVersion)
+	}
+	for _, s := range m.Segments {
+		if s != "." && (s == "" || filepath.IsAbs(s) || strings.Contains(s, "..")) {
+			return m, false, fmt.Errorf("manifest read %s: invalid segment path %q", dir, s)
+		}
+	}
+	return m, true, nil
+}
+
+// WriteManifest atomically commits m as dir's manifest: the JSON is
+// written to a temp file in the same directory, synced, and renamed over
+// the live name. A crash leaves either the previous manifest or the new
+// one, never a torn file.
+func WriteManifest(dir string, m Manifest) error {
+	m.Version = manifestFormatVersion
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest write: %w", err)
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(dir, ManifestFileName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("manifest write: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("manifest write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("manifest write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("manifest write: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ManifestFileName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("manifest write: %w", err)
+	}
+	return nil
+}
+
+// SnapshotManifest returns dir's committed manifest, or the implicit
+// base-only manifest (generation 0, segment ".") when none exists and the
+// directory holds a flat index. A directory with neither fails with an
+// error wrapping fs.ErrNotExist so callers can fall back to the gob path.
+func SnapshotManifest(dir string) (Manifest, error) {
+	m, ok, err := ReadManifest(dir)
+	if err != nil {
+		return m, err
+	}
+	if ok {
+		return m, nil
+	}
+	if _, err := os.Stat(filepath.Join(dir, DocsFileName)); err != nil {
+		return m, fmt.Errorf("index open %s: no manifest and no flat index: %w", dir, err)
+	}
+	return Manifest{Version: manifestFormatVersion, Segments: []string{"."}}, nil
+}
+
+// SegmentDirName names the seq-th ingested segment, relative to the index
+// root. The fixed-width sequence number keeps lexicographic listing equal
+// to creation order.
+func SegmentDirName(seq uint64) string {
+	return filepath.Join(SegmentsDirName, fmt.Sprintf("seg-%010d", seq))
+}
+
+// SegmentWriter accumulates a batch of extracted tables and freezes them
+// into one immutable segment: a single-shard flat index plus its table
+// store. Segments are small by design — one ingest batch each — and the
+// background merge policy compacts them later.
+type SegmentWriter struct {
+	tables []*wtable.Table
+	seen   map[string]bool
+}
+
+// NewSegmentWriter returns an empty segment writer.
+func NewSegmentWriter() *SegmentWriter {
+	return &SegmentWriter{seen: make(map[string]bool)}
+}
+
+// Add queues one table. Duplicate IDs within the batch are an error —
+// every table ID must be unique across the whole live index, and the
+// cross-segment half of that invariant is checked by the ingest path
+// against the current generation's store.
+func (w *SegmentWriter) Add(t *wtable.Table) error {
+	if t == nil || t.ID == "" {
+		return fmt.Errorf("segment: table without ID")
+	}
+	if w.seen[t.ID] {
+		return fmt.Errorf("segment: duplicate table ID %q", t.ID)
+	}
+	w.seen[t.ID] = true
+	w.tables = append(w.tables, t)
+	return nil
+}
+
+// Len returns the number of queued tables.
+func (w *SegmentWriter) Len() int { return len(w.tables) }
+
+// Tables returns the queued tables in insertion order (shared, not
+// copied).
+func (w *SegmentWriter) Tables() []*wtable.Table { return w.tables }
+
+// Flush freezes the queued tables into dir as an immutable one-shard
+// segment: builds the index, writes the flat files and the table store.
+// An empty writer is an error — the manifest never lists empty segments.
+func (w *SegmentWriter) Flush(dir string, opts WriteShardedOptions) error {
+	if len(w.tables) == 0 {
+		return fmt.Errorf("segment: flush of an empty segment")
+	}
+	ix, err := Build(w.tables)
+	if err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	if err := WriteShardedWith(dir, NewSearcher(ix), 1, opts); err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	st := NewStore()
+	for _, t := range w.tables {
+		if err := st.Add(t); err != nil {
+			return fmt.Errorf("segment: %w", err)
+		}
+	}
+	if err := st.Save(filepath.Join(dir, StoreFileName)); err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	return nil
+}
+
+// MergePolicy parameterizes the size-tiered background merge: segments
+// are bucketed into doc-count tiers of ratio TierBase, and any tier that
+// accumulates TierFanIn segments is compacted into one. Inputs are
+// immutable — a merge writes a brand-new segment and the manifest commit
+// swaps it in — so queries running on the old generation are unaffected.
+type MergePolicy struct {
+	TierFanIn int // segments per tier that trigger a merge (default 4)
+	TierBase  int // doc-count ratio between adjacent tiers (default 4)
+}
+
+func (p MergePolicy) withDefaults() MergePolicy {
+	if p.TierFanIn <= 1 {
+		p.TierFanIn = 4
+	}
+	if p.TierBase <= 1 {
+		p.TierBase = 4
+	}
+	return p
+}
+
+// tier buckets a doc count: 0 for < TierBase docs, 1 for < TierBase²,
+// and so on.
+func (p MergePolicy) tier(docs int) int {
+	t := 0
+	for docs >= p.TierBase {
+		docs /= p.TierBase
+		t++
+	}
+	return t
+}
+
+// PlanMerge picks one merge from the given per-segment doc counts: the
+// indices (ascending) of the segments in the lowest tier holding at least
+// TierFanIn members, or nil when no tier is full. Pure function — the
+// caller owns locking and the decision of which segments are eligible
+// (the base index, typically the largest tier, is usually excluded).
+func PlanMerge(docCounts []int, p MergePolicy) []int {
+	p = p.withDefaults()
+	byTier := make(map[int][]int)
+	for i, n := range docCounts {
+		t := p.tier(n)
+		byTier[t] = append(byTier[t], i)
+	}
+	best := -1
+	for t, members := range byTier {
+		if len(members) >= p.TierFanIn && (best < 0 || t < best) {
+			best = t
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return byTier[best]
+}
+
+// MergeSegments compacts the tables of srcDirs (in order) into one new
+// segment at dst. The inputs are only read — deleting them after the
+// manifest no longer lists them is the caller's job. Returns the merged
+// doc count.
+func MergeSegments(dst string, srcDirs []string, opts WriteShardedOptions) (int, error) {
+	w := NewSegmentWriter()
+	for _, d := range srcDirs {
+		st, err := LoadStore(filepath.Join(d, StoreFileName))
+		if err != nil {
+			return 0, fmt.Errorf("segment merge: %w", err)
+		}
+		for _, t := range st.All() {
+			if err := w.Add(t); err != nil {
+				return 0, fmt.Errorf("segment merge: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(dst, opts); err != nil {
+		return 0, fmt.Errorf("segment merge: %w", err)
+	}
+	return w.Len(), nil
+}

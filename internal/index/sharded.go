@@ -71,6 +71,7 @@ type shard struct {
 
 	idf      []float64
 	maxScore []float64
+	bestW    []float64 // per term: max per-doc cross-field weight sum (idf-free)
 	df       []int32
 
 	off  [numFields][]int32
@@ -156,6 +157,7 @@ func NewShardedFromSearcher(s *Searcher, n int) *ShardedSearcher {
 			names:    make([]string, len(tids)),
 			idf:      make([]float64, len(tids)),
 			maxScore: make([]float64, len(tids)),
+			bestW:    make([]float64, len(tids)),
 			df:       make([]int32, len(tids)),
 		}
 		for f := 0; f < int(numFields); f++ {
@@ -171,6 +173,7 @@ func NewShardedFromSearcher(s *Searcher, n int) *ShardedSearcher {
 			sh.names[li] = src.names[ti]
 			sh.idf[li] = src.idf[ti]
 			sh.maxScore[li] = src.maxScore[ti]
+			sh.bestW[li] = src.bestW[ti]
 			sh.df[li] = src.df[ti]
 			for f := 0; f < int(numFields); f++ {
 				lo, hi := src.off[f][ti], src.off[f][ti+1]
@@ -278,6 +281,9 @@ func WriteShardedWith(dir string, s *Searcher, nShards int, opts WriteShardedOpt
 			{secIDF, float64Bytes(sh.idf)},
 			{secMaxScore, float64Bytes(sh.maxScore)},
 			{secDF, int32Bytes(sh.df)},
+			// The idf-free best weight backs multi-segment bounds; old
+			// readers ignore the unknown section ID.
+			{secBestWeight, float64Bytes(sh.bestW)},
 		}
 		for f := 0; f < int(numFields); f++ {
 			secs = append(secs,
@@ -407,6 +413,22 @@ func openShardFile(pf *flatFile, g, shardCount, numDocs int) (*shard, error) {
 	if sh.df, err = pf.int32Sec(secDF, sh.numTerms); err != nil {
 		return nil, err
 	}
+	if pf.hasSec(secBestWeight) {
+		if sh.bestW, err = pf.float64Sec(secBestWeight, sh.numTerms); err != nil {
+			return nil, err
+		}
+	} else {
+		// Files written before the best-weight section carry only
+		// maxScore = idf·bestW. Dividing the rounding back out can land a
+		// hair below the true bestW, so pad by one ulp-scale factor — the
+		// value is only ever used as an upper bound, never in scores.
+		sh.bestW = make([]float64, sh.numTerms)
+		for t := 0; t < sh.numTerms; t++ {
+			if sh.idf[t] > 0 {
+				sh.bestW[t] = sh.maxScore[t] / sh.idf[t] * (1 + 1e-12)
+			}
+		}
+	}
 	for f := 0; f < int(numFields); f++ {
 		if sh.off[f], err = pf.int32Sec(secFieldOff(f), sh.numTerms+1); err != nil {
 			return nil, err
@@ -524,12 +546,37 @@ func (ss *ShardedSearcher) TermStats(tok string) (df int32, postings int, ok boo
 	return sh.df[ti], postings, true
 }
 
+// HasTerm reports whether the token occurs in this index. Generation
+// swaps use it to decide which cached doc sets a new segment staled.
+func (ss *ShardedSearcher) HasTerm(tok string) bool {
+	_, ok := ss.shards[shardOfToken(tok, ss.shardCount)].lookup(tok)
+	return ok
+}
+
 // termRef is one resolved query term: its home shard and local term ID,
 // plus the token for canonical (lexicographic) ordering at gather time.
+// The per-term statistics (df, idf, max-score bound) are carried on the
+// ref rather than read from the shard arrays so a multi-segment probe can
+// substitute corpus-global values: a segment's shard only knows its own
+// doc population, but MultiSearcher scores every segment under the global
+// df/idf, which is what keeps multi-segment sums bit-identical to a
+// single rebuilt index. Single-index probes populate the fields from the
+// shard arrays, so behavior there is unchanged.
 type termRef struct {
-	tok string
-	sh  *shard
-	tid int32
+	tok  string
+	sh   *shard
+	tid  int32
+	df   int32   // document frequency (corpus-global in multi probes)
+	idf  float64 // smoothed IDF the gather multiplies by
+	maxS float64 // per-doc contribution bound: idf · best cross-field weight sum
+}
+
+// fill populates a ref's carried statistics from its home shard — the
+// single-index case, where shard-local and corpus-global values coincide.
+func (r *termRef) fill() {
+	r.df = r.sh.df[r.tid]
+	r.idf = r.sh.idf[r.tid]
+	r.maxS = r.sh.maxScore[r.tid]
 }
 
 // shardedScratch is the pooled per-probe state: the dense accumulator
@@ -581,7 +628,9 @@ func (sh *shard) resolve(toks []string, out []termRef, prefault bool) []termRef 
 	start := len(out)
 	for _, tok := range toks {
 		if tid, ok := sh.lookup(tok); ok {
-			out = append(out, termRef{tok: tok, sh: sh, tid: tid})
+			r := termRef{tok: tok, sh: sh, tid: tid}
+			r.fill()
+			out = append(out, r)
 		}
 	}
 	if prefault {
@@ -750,7 +799,7 @@ func (ss *ShardedSearcher) passA(sc *shardedScratch, k int, st *ProbeStats) floa
 		}
 		b := 0.0
 		for _, r := range sc.shardRefs[g] {
-			b += r.sh.maxScore[r.tid]
+			b += r.maxS
 		}
 		sc.order = append(sc.order, g)
 		sc.bounds = append(sc.bounds, b)
@@ -843,8 +892,8 @@ func (ss *ShardedSearcher) passA(sc *shardedScratch, k int, st *ProbeStats) floa
 // depend on it).
 func sortRefs(refs []termRef) {
 	slices.SortFunc(refs, func(a, b termRef) int {
-		if da, db := a.sh.df[a.tid], b.sh.df[b.tid]; da != db {
-			return int(da - db)
+		if a.df != b.df {
+			return int(a.df - b.df)
 		}
 		return strings.Compare(a.tok, b.tok)
 	})

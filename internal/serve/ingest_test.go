@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wwt"
+	"wwt/internal/index"
+)
+
+// liveEngine freezes the test corpus to a flat directory and opens it
+// live, so the ingest endpoint runs against the real segment machinery.
+func liveEngine(t *testing.T) *wwt.LiveEngine {
+	t.Helper()
+	eng := testEngine(t)
+	dir := t.TempDir()
+	if err := index.WriteSharded(dir, eng.Searcher(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Store.Save(filepath.Join(dir, index.StoreFileName)); err != nil {
+		t.Fatal(err)
+	}
+	le, err := wwt.OpenLive(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { le.Close() })
+	return le
+}
+
+const metalsPage = `<html><head><title>Metals</title></head><body>
+<table><tr><th>Metal</th><th>Symbol</th></tr>
+<tr><td>Gold</td><td>Au</td></tr><tr><td>Silver</td><td>Ag</td></tr>
+<tr><td>Iron</td><td>Fe</td></tr></table></body></html>`
+
+// TestIngestNotRegisteredOnFrozenBackend: a plain engine has no live
+// surface, so POST /v1/ingest must not exist.
+func TestIngestNotRegisteredOnFrozenBackend(t *testing.T) {
+	ts := httptest.NewServer(New(testEngine(t), Config{}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("frozen backend accepted an ingest")
+	}
+}
+
+// TestIngestEndToEnd: POST an HTML page, then query the new table through
+// /v1/answer on the same daemon — the whole point of live ingest — and
+// check the wwt_index_* gauges moved.
+func TestIngestEndToEnd(t *testing.T) {
+	le := liveEngine(t)
+	ts := httptest.NewServer(New(le, Config{}))
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]string{"html": metalsPage, "url": "http://m.example/metals"})
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing ingestDTO
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if ing.Ingested != 1 || ing.Generation != 1 || ing.Segments != 2 {
+		t.Fatalf("ingest response = %+v", ing)
+	}
+
+	// The ingested table answers queries without a restart.
+	resp2, data := postJSON(t, ts, `{"columns": ["metal", "symbol"]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("answer status %d: %s", resp2.StatusCode, data)
+	}
+	var member memberDTO
+	if err := json.Unmarshal(data, &member); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range member.Rows {
+		if len(row.Cells) > 0 && row.Cells[0] == "Gold" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ingested table not answering: %+v", member.Rows)
+	}
+
+	// Re-ingesting the same page collides on table IDs: 409.
+	resp3, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate ingest status %d, want 409", resp3.StatusCode)
+	}
+
+	// Metrics expose the live-index gauges and ingest counters.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := readAll(t, mresp)
+	for _, want := range []string{
+		"wwt_index_generation 1",
+		"wwt_index_segments 2",
+		"wwt_ingest_requests_total 1",
+		"wwt_ingest_errors_total 1",
+	} {
+		if !strings.Contains(met, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, met)
+		}
+	}
+}
+
+// TestIngestCSV: a CSV table ingests with the first record as header.
+func TestIngestCSV(t *testing.T) {
+	le := liveEngine(t)
+	ts := httptest.NewServer(New(le, Config{}))
+	defer ts.Close()
+
+	body := `{"csv": [{"id": "rates-1", "title": "Exchange rates",
+		"data": "Country,Rate\nNarnia,42\nOz,7\n"}]}`
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing ingestDTO
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Ingested != 1 {
+		t.Fatalf("csv ingest: status %d, %+v", resp.StatusCode, ing)
+	}
+	if got := le.Info().Docs; got != 3 {
+		t.Fatalf("docs = %d, want 3", got)
+	}
+}
+
+// TestIngestBadRequests: malformed bodies and empty batches are rejected
+// without touching the index.
+func TestIngestBadRequests(t *testing.T) {
+	le := liveEngine(t)
+	ts := httptest.NewServer(New(le, Config{}))
+	defer ts.Close()
+
+	for _, body := range []string{
+		`not json`,
+		`{}`, // neither html nor csv
+		`{"html": "<table><tr><td>a</td></tr></table>"}`,    // html without url
+		`{"csv": [{"data": "A,B\n1,2\n"}]}`,                 // csv without id
+		`{"csv": [{"id": "x", "data": "A,B\n"}]}`,           // header only
+		`{"html": "<p>tableless</p>", "url": "http://x/y"}`, // nothing extracted
+	} {
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if info := le.Info(); info.Generation != 0 || info.Segments != 1 {
+		t.Fatalf("bad requests moved the index: %+v", info)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"wwt"
@@ -93,6 +94,13 @@ type Server struct {
 	adm     *admission
 	met     *metrics
 	mux     *http.ServeMux
+
+	// live is non-nil when backend supports live ingest; POST /v1/ingest
+	// is registered and /metrics gains the wwt_index_* gauges.
+	live         LiveBackend
+	ingestReqs   atomic.Int64
+	ingestTables atomic.Int64
+	ingestErrs   atomic.Int64
 }
 
 // New returns a ready server over backend. cfg zero values take defaults.
@@ -108,6 +116,10 @@ func New(backend Backend, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/answer", s.handleAnswer)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if lb, ok := backend.(LiveBackend); ok {
+		s.live = lb
+		s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	}
 	return s
 }
 
@@ -373,4 +385,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, s.met.render(time.Now(), inFlight, queued, capacity,
 		s.backend.CacheStats(), s.backend.PlanStats(), drain))
+	if s.live != nil {
+		fmt.Fprint(w, s.renderLiveMetrics())
+	}
 }

@@ -306,6 +306,7 @@ type Engine struct {
 
 	searcher *index.Searcher
 	sharded  *index.ShardedSearcher
+	multi    *index.MultiSearcher
 	stats    core.CorpusStats
 	docsets  docSetCache
 	views    *core.ViewCache
@@ -409,9 +410,38 @@ func NewEngineFromSharded(ss *index.ShardedSearcher, st *index.Store, opts *Opti
 	}
 }
 
+// NewEngineFromMulti wraps an opened multi-segment snapshot
+// (index.OpenMultiSnapshot) and the union table store. Like
+// NewEngineFromSharded, the engine has no mutable Index; statistics,
+// probes and PMI doc sets come from the multi searcher, whose arrays
+// alias the segment mappings — the snapshot must not be Closed while the
+// engine is in use. LiveEngine builds one of these per committed
+// generation and hot-swaps between them.
+func NewEngineFromMulti(ms *index.MultiSearcher, st *index.Store, opts *Options) *Engine {
+	o := DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	return &Engine{
+		Store:   st,
+		Opts:    o,
+		multi:   ms,
+		stats:   ms,
+		docsets: index.NewShardedDocSetCache(ms, ms.Shards(), 0),
+		views:   core.NewViewCache(),
+		pairs:   core.NewPairSimCache(0),
+		norm:    text.NewNormCache(0),
+		planner: plan.NewEstimator(len(inference.Algorithms), plan.DefaultAlpha),
+	}
+}
+
 // Searcher returns the engine's frozen flat searcher (nil for sharded
 // engines).
 func (e *Engine) Searcher() *index.Searcher { return e.searcher }
+
+// Multi returns the engine's multi-segment searcher (nil unless the
+// engine was built by NewEngineFromMulti).
+func (e *Engine) Multi() *index.MultiSearcher { return e.multi }
 
 // Sharded returns the engine's sharded searcher (nil for single-shard
 // engines).
@@ -421,6 +451,9 @@ func (e *Engine) Sharded() *index.ShardedSearcher { return e.sharded }
 // on-disk index. The engine (and any strings or doc sets it returned) must
 // not be used afterwards. Close is a no-op for in-memory engines.
 func (e *Engine) Close() error {
+	if e.multi != nil {
+		return e.multi.Close()
+	}
 	if e.sharded != nil {
 		return e.sharded.Close()
 	}
@@ -436,6 +469,8 @@ func (e *Engine) search(tokens []string, k int) ([]index.Hit, index.ProbeStats) 
 	var hits []index.Hit
 	var st index.ProbeStats
 	switch {
+	case e.multi != nil:
+		hits, st = e.multi.SearchStats(tokens, k)
 	case e.sharded != nil:
 		hits, st = e.sharded.SearchStats(tokens, k)
 	case e.searcher != nil:
@@ -552,6 +587,8 @@ func (e *Engine) PlanStats() PlanStats {
 	}
 	if e.sharded != nil {
 		st.ShardPrunes = e.sharded.ShardPruneCounts()
+	} else if e.multi != nil {
+		st.ShardPrunes = e.multi.ShardPruneCounts()
 	}
 	if e.planner != nil {
 		st.CostError = e.planner.ErrorRate()
@@ -568,6 +605,9 @@ func (e *Engine) Planner() *plan.Estimator { return e.planner }
 // termStats reads one token's planner features (document frequency, total
 // posting entries) from whichever probe surface the engine runs on.
 func (e *Engine) termStats(tok string) (df int32, postings int, ok bool) {
+	if e.multi != nil {
+		return e.multi.TermStats(tok)
+	}
 	if e.sharded != nil {
 		return e.sharded.TermStats(tok)
 	}
