@@ -10,11 +10,12 @@ package wwt
 // member is isolated to its own slot; the rest of the batch completes.
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -299,10 +300,10 @@ func (e *Engine) dispatchOrder(queries []Query, sched Schedule, perQuery time.Du
 	}
 	switch sched {
 	case ScheduleSJF:
-		sort.SliceStable(order, func(a, b int) bool { return est[order[a]] < est[order[b]] })
+		slices.SortStableFunc(order, func(a, b int) int { return cmp.Compare(est[a], est[b]) })
 	case ScheduleDeadline:
-		sort.SliceStable(order, func(a, b int) bool {
-			return perQuery-est[order[a]] < perQuery-est[order[b]]
+		slices.SortStableFunc(order, func(a, b int) int {
+			return cmp.Compare(perQuery-est[a], perQuery-est[b])
 		})
 	}
 	return order

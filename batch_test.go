@@ -294,9 +294,11 @@ func TestAnswerBatchPanicIsolation(t *testing.T) {
 		}
 	}
 	// The healthy engine is unaffected.
-	if _, err := eng.Answer(queries[0]); err != nil {
+	res, err := eng.Answer(queries[0])
+	if err != nil {
 		t.Fatalf("healthy engine after panic batch: %v", err)
 	}
+	res.Release()
 }
 
 // TestAnswerBatchEmpty: a zero-member batch is a cheap no-op.

@@ -144,9 +144,14 @@ func BenchmarkFig7QueryPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := w.queries[i%len(w.queries)]
-		if _, err := w.engine.Answer(wwt.Query{Columns: q.Columns}); err != nil {
+		res, err := w.engine.Answer(wwt.Query{Columns: q.Columns})
+		if err != nil {
 			b.Fatal(err)
 		}
+		// Releasing per iteration measures the steady state the pooled
+		// arena is designed for; discarding results starved the pool and
+		// charged every op a fresh arena.
+		res.Release()
 	}
 }
 
@@ -359,10 +364,12 @@ func BenchmarkAnswerConcurrent(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			qi := int(next.Add(1)) % len(w.queries)
-			if _, err := w.engine.Answer(wwt.Query{Columns: w.queries[qi].Columns}); err != nil {
+			res, err := w.engine.Answer(wwt.Query{Columns: w.queries[qi].Columns})
+			if err != nil {
 				b.Error(err)
 				return
 			}
+			res.Release()
 		}
 	})
 }

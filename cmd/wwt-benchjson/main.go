@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -34,7 +35,13 @@ type benchLine struct {
 }
 
 type trajectory struct {
-	Commit     string      `json:"commit,omitempty"`
+	Commit string `json:"commit,omitempty"`
+	// GoVersion and GoMaxProcs pin the toolchain and parallelism the
+	// numbers were measured under: a ns/op shift that coincides with a
+	// toolchain or core-count change is a machine delta, not a
+	// regression.
+	GoVersion  string      `json:"go_version"`
+	GoMaxProcs int         `json:"gomaxprocs"`
 	Benchmarks []benchLine `json:"benchmarks"`
 }
 
@@ -57,7 +64,12 @@ func main() {
 		in = f
 	}
 
-	tr := trajectory{Commit: *commit, Benchmarks: []benchLine{}}
+	tr := trajectory{
+		Commit:     *commit,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: []benchLine{},
+	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -92,6 +92,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer res.Release()
 
 	relevant := 0
 	for ti := range res.Tables {

@@ -107,6 +107,7 @@ func TestAnswerCtxDeadlineMidPipeline(t *testing.T) {
 		t.Skipf("pipeline too short (%d stages) for a mid-pipeline abort", n)
 	}
 
+	//wwt:retained — aborted mid-pipeline: AnswerCtx returns a nil Result
 	res, err := eng.AnswerCtx(newCountingCtx(2), q) // aborts before the 3rd stage
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
@@ -116,7 +117,7 @@ func TestAnswerCtxDeadlineMidPipeline(t *testing.T) {
 	}
 
 	// An already-expired context aborts before the first stage.
-	if _, err := eng.AnswerCtx(newCountingCtx(0), q); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := eng.AnswerCtx(newCountingCtx(0), q); !errors.Is(err, context.DeadlineExceeded) { //wwt:retained — aborted call, no Result
 		t.Fatalf("pre-expired ctx: err = %v, want context.DeadlineExceeded", err)
 	}
 
@@ -140,13 +141,13 @@ func TestAnswerCtxRealDeadline(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
 	defer cancel()
-	if _, err := eng.AnswerCtx(ctx, q); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := eng.AnswerCtx(ctx, q); !errors.Is(err, context.DeadlineExceeded) { //wwt:retained — aborted call, no Result
 		t.Errorf("expired deadline: err = %v, want context.DeadlineExceeded", err)
 	}
 
 	cctx, ccancel := context.WithCancel(context.Background())
 	ccancel()
-	if _, err := eng.AnswerCtx(cctx, q); !errors.Is(err, context.Canceled) {
+	if _, err := eng.AnswerCtx(cctx, q); !errors.Is(err, context.Canceled) { //wwt:retained — aborted call, no Result
 		t.Errorf("canceled ctx: err = %v, want context.Canceled", err)
 	}
 

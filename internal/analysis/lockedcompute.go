@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockedCompute enforces the compute-outside-lock cache protocol: the
+// cross-query caches are all internal/lru.Cache wrappers whose Get runs
+// the compute callback outside the cache's own lock, so concurrent
+// misses don't serialize. That contract is defeated (and a lock-order
+// cycle invited) when a consumer calls Get while holding its own
+// sync.Mutex/RWMutex — the "compute" then happens inside the caller's
+// critical section. The analyzer tracks Lock/RLock..Unlock/RUnlock
+// windows within each function body and flags Cache.Get calls evaluated
+// inside one.
+//
+// The tracking is lexical and intra-procedural: a deferred Unlock keeps
+// the mutex held to the end of the function, branches share one held
+// set, and calls through interfaces (sync.Locker) are not tracked.
+var LockedCompute = &Analyzer{
+	Name: "lockedcompute",
+	Doc: "flag lru.Cache.Get calls made while a mutex is held\n\n" +
+		"internal/lru.Cache.Get runs its compute callback outside the cache " +
+		"lock by contract; calling Get inside a sync.Mutex/RWMutex critical " +
+		"section moves the compute back under a lock. Release the caller's " +
+		"lock before consulting the cache (compute-outside-lock protocol).",
+	Run: runLockedCompute,
+}
+
+func runLockedCompute(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				w := &lockWalker{pass: pass, held: make(map[string]bool)}
+				w.stmts(body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockWalker scans one function body in statement order, maintaining the
+// set of mutexes currently held (keyed by the receiver expression's
+// source text).
+type lockWalker struct {
+	pass *Pass
+	held map[string]bool
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := w.lockEvent(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				w.held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(w.held, recv)
+			}
+			return
+		}
+		w.checkExpr(s.X)
+	case *ast.DeferStmt:
+		if _, op, ok := w.lockEvent(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Deferred unlock: the mutex stays held for the rest of the
+			// lexical function body.
+			return
+		}
+		w.checkExpr(s.Call)
+	case *ast.GoStmt:
+		// Arguments are evaluated now, in the critical section.
+		w.checkExpr(s.Call)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e)
+		}
+	case *ast.DeclStmt:
+		w.checkExpr(s.Decl)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e)
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X)
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan)
+		w.checkExpr(s.Value)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.checkExpr(s.Cond)
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond)
+		}
+		w.stmts(s.Body.List)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(s.X)
+		w.stmts(s.Body.List)
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.checkExpr(e)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// lockEvent decodes e as a sync.(RW)Mutex Lock/RLock/Unlock/RUnlock call
+// and returns the receiver's source text and the operation. Matching is
+// by method object, so promoted methods of embedded mutexes count too.
+func (w *lockWalker) lockEvent(e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, _ := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// checkExpr flags lru.Cache.Get calls inside n while any mutex is held.
+// Function literals are skipped: their bodies run later, outside this
+// critical section, and are analyzed as functions in their own right.
+func (w *lockWalker) checkExpr(n ast.Node) {
+	if len(w.held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(inner ast.Node) bool {
+		if _, isLit := inner.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := inner.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(w.pass.TypesInfo, call)
+		if fn == nil || fn.Name() != "Get" {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil || !isNamedType(sig.Recv().Type(), "internal/lru", "Cache") {
+			return true
+		}
+		// Name the held mutexes deterministically (mapfloatsum's sibling
+		// sin would be reporting a map-order-dependent one).
+		mus := make([]string, 0, len(w.held))
+		for mu := range w.held {
+			mus = append(mus, mu)
+		}
+		sort.Strings(mus)
+		w.pass.Reportf(call.Pos(),
+			"lru.Cache.Get called while %s is held; compute runs outside locks by contract — release the lock first (compute-outside-lock protocol)",
+			strings.Join(mus, ", "))
+		return true
+	})
+}

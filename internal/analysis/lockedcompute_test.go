@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wwt/internal/analysis"
+	"wwt/internal/analysis/analysistest"
+)
+
+func TestLockedCompute(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.LockedCompute, "lockedcompute")
+}

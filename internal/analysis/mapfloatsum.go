@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapFloatSum flags floating-point accumulation performed while ranging
+// over a map. Map iteration order is randomized, float addition is not
+// associative, so `for _, v := range m { s += v }` produces a different
+// bit pattern run to run — the exact nondeterminism class PR 3 fixed in
+// inSimCosine/unsegScores by summing in first-occurrence order. The
+// engine's bit-determinism contracts (TestSearcherEquivalence,
+// TestAnswerScratchEquivalence) ride on every such sum being ordered.
+//
+// The accumulator must be declared outside the range statement to be
+// flagged: a per-iteration local resets every pass and cannot observe
+// iteration order. Sums a human has proven order-invariant (e.g. integer
+// arithmetic staged through a float) can be annotated with
+// //wwt:orderinvariant on the accumulation line.
+var MapFloatSum = &Analyzer{
+	Name: "mapfloatsum",
+	Doc: "flag float accumulation in map-iteration order\n\n" +
+		"Float sums inside `range someMap` depend on randomized iteration " +
+		"order and break the engine's bit-determinism invariants. Hoist the " +
+		"keys into a sorted or first-occurrence-ordered slice and sum over " +
+		"that, or annotate a proven-order-invariant sum with //wwt:orderinvariant.",
+	Run: runMapFloatSum,
+}
+
+func runMapFloatSum(pass *Pass) error {
+	reported := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || rs.X == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				as, ok := inner.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				pass.checkMapRangeAssign(rs, as, reported)
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeAssign flags as if it accumulates a float into a variable
+// that outlives one iteration of the map range rs.
+func (pass *Pass) checkMapRangeAssign(rs *ast.RangeStmt, as *ast.AssignStmt, reported map[token.Pos]bool) {
+	accumulates := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accumulates = len(as.Lhs) == 1
+	case token.ASSIGN:
+		// s = s + x / s = x + s (and -, *, /): the spelled-out form of the
+		// same accumulation.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok {
+				switch bin.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					lhs := types.ExprString(as.Lhs[0])
+					accumulates = types.ExprString(bin.X) == lhs ||
+						types.ExprString(bin.Y) == lhs
+				}
+			}
+		}
+	}
+	if !accumulates || reported[as.Pos()] {
+		return
+	}
+	lhs := as.Lhs[0]
+	tv, ok := pass.TypesInfo.Types[lhs]
+	if !ok || !isFloat(tv.Type) {
+		return
+	}
+	// The accumulator must be declared outside the range statement;
+	// otherwise it is reset each iteration and order cannot matter.
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+		return
+	}
+	if pass.HasDirective(as.Pos(), "orderinvariant") {
+		return
+	}
+	reported[as.Pos()] = true
+	pass.Reportf(as.Pos(),
+		"float accumulation into %s depends on map iteration order; sum in sorted or first-occurrence order instead (determinism invariant)",
+		types.ExprString(lhs))
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wwt/internal/analysis"
+	"wwt/internal/analysis/analysistest"
+)
+
+func TestMmapAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MmapAlias, "mmapalias")
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wwt/internal/analysis"
+	"wwt/internal/analysis/analysistest"
+)
+
+func TestReflectSort(t *testing.T) {
+	// The hot fixture's import path suffix-matches internal/index; the
+	// cold fixture matches no hot package and must stay silent.
+	analysistest.Run(t, analysistest.TestData(), analysis.ReflectSort,
+		"reflectsorthot/internal/index", "reflectsortcold")
+}

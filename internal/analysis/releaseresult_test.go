@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wwt/internal/analysis"
+	"wwt/internal/analysis/analysistest"
+)
+
+func TestReleaseResult(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ReleaseResult, "releaseresult")
+}

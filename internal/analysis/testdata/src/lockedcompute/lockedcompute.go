@@ -1,0 +1,63 @@
+// Package lockedcompute exercises the compute-outside-lock protocol
+// checker against the real wwt/internal/lru generic cache: Cache.Get
+// runs its compute callback outside the cache lock by contract, so
+// calling it inside a caller-held sync.Mutex/RWMutex critical section
+// must be flagged.
+package lockedcompute
+
+import (
+	"sync"
+
+	"wwt/internal/lru"
+)
+
+type scorer struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	cache *lru.Cache[string, float64]
+	table map[string]float64
+}
+
+func expensive(string) float64 { return 0 }
+
+func (s *scorer) scoreLocked(key string) float64 {
+	s.mu.Lock()
+	v := s.cache.Get(key, func() float64 { return expensive(key) }) // want `lru.Cache.Get called while s.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+// Releasing the lock before consulting the cache is the sanctioned
+// pattern: no diagnostic.
+func (s *scorer) scoreUnlocked(key string) float64 {
+	s.mu.Lock()
+	base := s.table[key]
+	s.mu.Unlock()
+	return s.cache.Get(key, func() float64 { return base * 2 })
+}
+
+// A deferred Unlock keeps the mutex held for the whole lexical body.
+func (s *scorer) scoreDeferred(key string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Get(key, func() float64 { return expensive(key) }) // want `lru.Cache.Get called while s.mu is held`
+}
+
+// Read locks count too: the compute still runs inside the critical
+// section.
+func (s *scorer) scoreReadLocked(key string) float64 {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.cache.Get(key, func() float64 { return expensive(key) }) // want `lru.Cache.Get called while s.rw is held`
+}
+
+// A literal defined inside the critical section runs later, outside it:
+// its body is analyzed as its own function with no lock held.
+func (s *scorer) deferredCompute(key string) func() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn := func() float64 {
+		return s.cache.Get(key, func() float64 { return expensive(key) })
+	}
+	return fn
+}

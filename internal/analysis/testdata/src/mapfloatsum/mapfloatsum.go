@@ -1,0 +1,80 @@
+// Package mapfloatsum exercises the mapfloatsum analyzer: float sums in
+// map-iteration order (the PR 3 inSimCosine/unsegScores bug class) must
+// be flagged; ordered, integer, per-iteration and annotated sums must
+// not.
+package mapfloatsum
+
+import "sort"
+
+// inSimCosine reproduces the exact PR 3 shape: the dot product and the
+// norm accumulate in the map's randomized iteration order, so the float
+// result differs bit-for-bit run to run.
+func inSimCosine(a, b map[string]float64) float64 {
+	var dot float64
+	for t, wa := range a {
+		dot += wa * b[t] // want `float accumulation into dot depends on map iteration order`
+	}
+	var nb float64
+	for _, wb := range b {
+		nb = nb + wb*wb // want `float accumulation into nb depends on map iteration order`
+	}
+	_ = nb
+	return dot
+}
+
+// spelledForms: *= and the reversed spelled-out form accumulate too.
+func spelledForms(m map[int]float32) (float32, float32) {
+	prod := float32(1)
+	var diff float32
+	for _, v := range m {
+		prod *= v       // want `float accumulation into prod depends on map iteration order`
+		diff = v - diff // want `float accumulation into diff depends on map iteration order`
+	}
+	return prod, diff
+}
+
+// orderedSum is the sanctioned fix: hoist the keys, sort, sum over the
+// slice. The accumulation happens in a slice range, not a map range.
+func orderedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// intSum: integer addition is associative; order cannot matter.
+func intSum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perIteration: the accumulator is declared inside the range body, so it
+// resets every pass and cannot observe iteration order.
+func perIteration(m map[string][]float64, out map[string]float64) {
+	for k, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		out[k] = rowSum
+	}
+}
+
+// stagedInt sums integer-valued terms staged through a float64: exact,
+// hence order-invariant, and annotated as such.
+func stagedInt(m map[string]int) float64 {
+	var s float64
+	for _, v := range m {
+		s += float64(v) //wwt:orderinvariant — integer-valued terms, exact in float64
+	}
+	return s
+}

@@ -1,0 +1,10 @@
+// Package reflectsortcold is not on the hot-package list: reflection
+// sorts are fine off the query path, so the analyzer stays silent.
+package reflectsortcold
+
+import "sort"
+
+func sortAnything(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,23 @@
+// Package index stands in for the real hot-path index package: its
+// import path suffix-matches internal/index, so the reflection-based
+// sort.Slice family is banned here.
+package index
+
+import "sort"
+
+func sortHits(ids []int, scores []float64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] }) // want `sort.Slice uses reflection on a hot path; use slices.SortFunc`
+	sort.SliceStable(ids, func(i, j int) bool {                     // want `sort.SliceStable uses reflection on a hot path; use slices.SortStableFunc`
+		return scores[ids[i]] > scores[ids[j]]
+	})
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) { // want `sort.SliceIsSorted uses reflection on a hot path; use slices.IsSortedFunc`
+		panic("unsorted")
+	}
+}
+
+// The non-reflective sort API stays legal on hot paths.
+func sortAllowed(ids []int, names []string) {
+	sort.Ints(ids)
+	sort.Strings(names)
+	sort.Sort(sort.IntSlice(ids))
+}

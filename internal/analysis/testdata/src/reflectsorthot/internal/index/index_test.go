@@ -1,0 +1,9 @@
+package index
+
+import "sort"
+
+// Test files are exempt even in hot packages: benchmarks and reference
+// implementations may sort however they like.
+func sortForTest(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

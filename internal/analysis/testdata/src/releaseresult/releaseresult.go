@@ -1,0 +1,79 @@
+// Package releaseresult exercises the arena-release checker against the
+// real wwt API: Engine.Answer results that never reach Release fall off
+// the QueryScratch pool. The engine value is never used at runtime —
+// the fixture only has to type-check.
+package releaseresult
+
+import "wwt"
+
+var eng *wwt.Engine
+
+func query() wwt.Query {
+	return wwt.Query{Columns: []string{"country", "currency"}}
+}
+
+func discarded() {
+	eng.Answer(query()) // want `result of eng.Answer is discarded without Release`
+}
+
+func blankAssigned() {
+	_, _ = eng.Answer(query()) // want `result of eng.Answer is assigned to _ without Release`
+}
+
+func neverReleased() {
+	res, err := eng.Answer(query()) // want `result of eng.Answer never reaches Release on any path`
+	if err != nil {
+		return
+	}
+	if res.UsedProbe2 {
+		println("second probe ran")
+	}
+}
+
+// The sanctioned shape: defer Release immediately after the error check.
+func released() {
+	res, err := eng.Answer(query())
+	if err != nil {
+		return
+	}
+	defer res.Release()
+	println(len(res.Answer.Rows))
+}
+
+// A returned Result is the caller's responsibility.
+func escapesReturn() *wwt.Result {
+	res, err := eng.Answer(query())
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+func sink(*wwt.Result) {}
+
+// A Result passed along escapes: someone else's Release.
+func escapesArg() {
+	res, err := eng.Answer(query())
+	if err != nil {
+		return
+	}
+	sink(res)
+}
+
+// Deliberate retention is marked on the call line.
+func retained() {
+	res, err := eng.Answer(query()) //wwt:retained — pinned for the fixture's lifetime
+	if err != nil {
+		return
+	}
+	if res.UsedProbe2 {
+		println("second probe ran")
+	}
+}
+
+// Error-expectation shape: on failure there is no Result to release.
+func errOnly() {
+	if _, err := eng.Answer(wwt.Query{}); err != nil { //wwt:retained — rejected query, no Result
+		println(err.Error())
+	}
+}

@@ -364,14 +364,29 @@ func cosineVec(stats core.CorpusStats, a, b []string) float64 {
 	for _, t := range b {
 		vb[t] += stats.IDF(t)
 	}
+	// Sum in first-occurrence token order, not map order: float sums over
+	// map iteration are bit-nondeterministic and this oracle is diffed
+	// against the engine's deterministic scorer.
 	var dot, na, nb float64
-	for t, x := range va {
+	seen := make(map[string]bool, len(va))
+	for _, t := range a {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		x := va[t]
 		na += x * x
 		if y, ok := vb[t]; ok {
 			dot += x * y
 		}
 	}
-	for _, y := range vb {
+	clear(seen)
+	for _, t := range b {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		y := vb[t]
 		nb += y * y
 	}
 	if na == 0 || nb == 0 {

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -92,11 +93,14 @@ func (m *Model) ExplainAll(l Labeling) []Explanation {
 	for ti := range m.Views {
 		out[ti] = m.Explain(ti, l)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Relevant != out[j].Relevant {
-			return out[i].Relevant
+	slices.SortStableFunc(out, func(a, b Explanation) int {
+		if a.Relevant != b.Relevant {
+			if a.Relevant {
+				return -1
+			}
+			return 1
 		}
-		return out[i].R > out[j].R
+		return cmp.Compare(b.R, a.R)
 	})
 	return out
 }

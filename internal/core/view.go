@@ -110,8 +110,17 @@ func NewTableView(t *wtable.Table, p Params, stats CorpusStats, in *Interner) *T
 			for _, w := range toks {
 				vec[w] += stats.IDF(w)
 			}
+			// Sum the norm in first-occurrence token order, not map order:
+			// float addition is order-sensitive and header norms feed the
+			// bit-deterministic model build.
 			var n2 float64
-			for _, x := range vec {
+			seen := make(map[string]bool, len(vec))
+			for _, w := range toks {
+				if seen[w] {
+					continue
+				}
+				seen[w] = true
+				x := vec[w]
 				n2 += x * x
 			}
 			v.headerVec[r][c] = vec

@@ -1,0 +1,46 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"wwt/internal/wtable"
+)
+
+// FuzzSearchPruningEquivalence drives the layered score-bound pruning —
+// the term-level max-score skip, the block-max closures and the sharded
+// floor-seeding scatter prune — through fuzzer-chosen corpora, queries,
+// k values and shard counts, and requires bit-identical hits (IDs,
+// scores within 1e-9, order) from the map-based reference scorer, the
+// frozen CSR searcher and a sharded split of the same index. The
+// pruning boundaries (k equal to the touched-document count, absent
+// terms, duplicate terms, single-doc shards) are exactly where past
+// regressions lived (TestSearcherSkipWithExactlyKTouched); the fuzzer
+// searches that boundary space mechanically.
+func FuzzSearchPruningEquivalence(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(8), uint8(3), uint8(2))
+	f.Add(int64(42), int64(7), uint8(40), uint8(0), uint8(3))
+	f.Add(int64(2012), int64(99991), uint8(3), uint8(17), uint8(1))
+	f.Fuzz(func(t *testing.T, seed, qseed int64, n, k, shards uint8) {
+		docs := 2 + int(n)%60
+		r := rand.New(rand.NewSource(seed))
+		tables := make([]*wtable.Table, docs)
+		for i := range tables {
+			tables[i] = randDocTable(r, i)
+		}
+		ix, err := Build(tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSearcher(ix)
+		ss := NewShardedFromSearcher(s, 1+int(shards)%4)
+
+		qr := rand.New(rand.NewSource(qseed))
+		query := randQuery(qr)
+		topK := int(k) % (docs + 2) // covers 0 (unbounded), 1, and > docs
+
+		want := ix.Search(query, topK)
+		sameHits(t, want, s.Search(query, topK), "frozen searcher")
+		sameHits(t, want, ss.Search(query, topK), "sharded searcher")
+	})
+}

@@ -1,10 +1,10 @@
 package index
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 	"sync"
 
 	"wwt/internal/text"
@@ -197,12 +197,11 @@ func (ix *Index) Search(tokens []string, k int) []Hit {
 	// selective terms establish the block-max probe's top-k floor before
 	// the long common lists are walked, which is what lets whole blocks of
 	// those lists be skipped (gather.go).
-	sort.Slice(uniq, func(i, j int) bool {
-		di, dj := ix.df[uniq[i]], ix.df[uniq[j]]
-		if di != dj {
-			return di < dj
+	slices.SortFunc(uniq, func(a, b string) int {
+		if da, db := ix.df[a], ix.df[b]; da != db {
+			return cmp.Compare(da, db)
 		}
-		return uniq[i] < uniq[j]
+		return cmp.Compare(a, b)
 	})
 	scores := make(map[int32]float64)
 	for _, tok := range uniq {
@@ -345,7 +344,7 @@ func (ix *Index) DocSet(tokens []string, fields ...Field) []int32 {
 		return nil
 	}
 	// Start from the rarest token for cheap intersections.
-	sort.Slice(uniq, func(i, j int) bool { return ix.df[uniq[i]] < ix.df[uniq[j]] })
+	slices.SortFunc(uniq, func(a, b string) int { return cmp.Compare(ix.df[a], ix.df[b]) })
 	set := ix.DocsWithToken(uniq[0], fields...)
 	for _, tok := range uniq[1:] {
 		if len(set) == 0 {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"cmp"
 	"math"
 	"slices"
 	"sort"
@@ -330,11 +331,11 @@ func (s *Searcher) DocSet(tokens []string, fields ...Field) []int32 {
 		return nil
 	}
 	// Rarest token first keeps intermediate intersections small.
-	sort.Slice(tids, func(i, j int) bool {
-		if s.sh.df[tids[i]] != s.sh.df[tids[j]] {
-			return s.sh.df[tids[i]] < s.sh.df[tids[j]]
+	slices.SortFunc(tids, func(a, b int32) int {
+		if s.sh.df[a] != s.sh.df[b] {
+			return cmp.Compare(s.sh.df[a], s.sh.df[b])
 		}
-		return tids[i] < tids[j]
+		return cmp.Compare(a, b)
 	})
 	set := s.sh.termDocs(tids[0], fields)
 	for _, ti := range tids[1:] {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -62,6 +63,12 @@ type ShardedSearcher struct {
 // plus the per-field CSR arrays over the shared doc space. The single-shard
 // Searcher holds its whole corpus as one shard, so the scoring gather is
 // shared verbatim.
+//
+// A flat-opened shard's arrays are zero-copy views over its postings
+// file's mapping; the Searcher/ShardedSearcher that opened it owns the
+// mapping and its Close is the unmap point (mmapalias invariant).
+//
+//wwt:mmap-owner
 type shard struct {
 	numTerms int
 
@@ -1016,11 +1023,11 @@ func (ss *ShardedSearcher) DocSet(tokens []string, fields ...Field) []int32 {
 	if len(refs) == 0 {
 		return nil
 	}
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].sh.df[refs[i].tid] != refs[j].sh.df[refs[j].tid] {
-			return refs[i].sh.df[refs[i].tid] < refs[j].sh.df[refs[j].tid]
+	slices.SortFunc(refs, func(a, b termRef) int {
+		if a.sh.df[a.tid] != b.sh.df[b.tid] {
+			return cmp.Compare(a.sh.df[a.tid], b.sh.df[b.tid])
 		}
-		return refs[i].tok < refs[j].tok
+		return cmp.Compare(a.tok, b.tok)
 	})
 	set := refs[0].sh.termDocs(refs[0].tid, fields)
 	for _, r := range refs[1:] {

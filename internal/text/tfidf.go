@@ -1,7 +1,9 @@
 package text
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -68,31 +70,31 @@ func (v *Vocab) TI(tok string) float64 { return v.IDF(tok) }
 
 // Norm returns the L2 norm of the vector.
 func (a Vector) Norm() float64 {
-	var s float64
-	for _, x := range a {
-		s += x * x
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(a.NormSq())
 }
 
 // NormSq returns the squared L2 norm — the paper's ‖·‖² quantity.
+// Like every float reduction in the repo it sums in a deterministic
+// (sorted-key) order: map-range sums are bit-nondeterministic.
 func (a Vector) NormSq() float64 {
 	var s float64
-	for _, x := range a {
+	for _, t := range slices.Sorted(maps.Keys(a)) {
+		x := a[t]
 		s += x * x
 	}
 	return s
 }
 
-// Dot returns the inner product of two sparse vectors.
+// Dot returns the inner product of two sparse vectors, summing over the
+// smaller vector's keys in sorted order for bit-determinism.
 func (a Vector) Dot(b Vector) float64 {
 	if len(b) < len(a) {
 		a, b = b, a
 	}
 	var s float64
-	for t, x := range a {
+	for _, t := range slices.Sorted(maps.Keys(a)) {
 		if y, ok := b[t]; ok {
-			s += x * y
+			s += a[t] * y
 		}
 	}
 	return s

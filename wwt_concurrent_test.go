@@ -39,6 +39,7 @@ func TestAnswerConcurrent(t *testing.T) {
 			want[i].rows = append(want[i].rows, row.Cells)
 		}
 		want[i].labeling = res.Labeling.Y
+		res.Release() // rows/labeling stay valid after Release; only the arena returns
 	}
 
 	const goroutines = 8
@@ -67,6 +68,7 @@ func TestAnswerConcurrent(t *testing.T) {
 					t.Errorf("goroutine %d query %d: labeling diverged", g, qi)
 					return
 				}
+				res.Release()
 			}
 		}(g)
 	}
@@ -122,6 +124,7 @@ func TestAnswerConcurrentPairSimCache(t *testing.T) {
 					t.Errorf("goroutine %d query %d: labeling diverged", g, qi)
 					return
 				}
+				res.Release() // after the Model.Edges check: Release nils Model
 			}
 		}(g)
 	}

@@ -35,10 +35,12 @@ func TestEngineShardedFlatRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer a.Release()
 	b, err := eng2.Answer(q)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer b.Release()
 	if len(a.Answer.Rows) != len(b.Answer.Rows) {
 		t.Fatalf("flat-opened engine differs: %d vs %d rows", len(b.Answer.Rows), len(a.Answer.Rows))
 	}

@@ -51,6 +51,7 @@ func TestEngineAnswerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer res.Release()
 	if len(res.Answer.Rows) < 4 {
 		t.Fatalf("answer rows = %d, want >= 4", len(res.Answer.Rows))
 	}
@@ -84,6 +85,7 @@ func TestEngineHeaderlessRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer res.Release()
 	// The bare-page headerless table shares full content with the headed
 	// one; collective inference must mark it relevant.
 	for ti, tb := range res.Tables {
@@ -104,10 +106,10 @@ func TestEngineEmptyQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Answer(wwt.Query{}); err == nil {
+	if _, err := eng.Answer(wwt.Query{}); err == nil { //wwt:retained — rejected query, no Result to release
 		t.Error("empty query accepted")
 	}
-	if _, err := eng.Answer(wwt.Query{Columns: []string{"the of a"}}); err == nil {
+	if _, err := eng.Answer(wwt.Query{Columns: []string{"the of a"}}); err == nil { //wwt:retained — rejected query, no Result to release
 		t.Error("stopword-only query accepted")
 	}
 }
@@ -121,6 +123,7 @@ func TestEngineNoMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer res.Release()
 	if len(res.Tables) != 0 || len(res.Answer.Rows) != 0 {
 		t.Errorf("expected empty result, got %d tables %d rows", len(res.Tables), len(res.Answer.Rows))
 	}
@@ -134,9 +137,12 @@ func TestEngineAlgorithmOption(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Answer(wwt.Query{Columns: []string{"country", "currency"}}); err != nil {
+		res, err := eng.Answer(wwt.Query{Columns: []string{"country", "currency"}})
+		if err != nil {
 			t.Errorf("%s: %v", alg, err)
+			continue
 		}
+		res.Release()
 	}
 }
 
@@ -151,6 +157,7 @@ func TestEngineSecondProbeToggle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer res.Release()
 	if res.UsedProbe2 {
 		t.Error("probe2 used despite being disabled")
 	}
@@ -185,10 +192,12 @@ func TestEnginePersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer a.Release()
 	b, err := eng2.Answer(wwt.Query{Columns: []string{"country", "currency"}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer b.Release()
 	if len(a.Answer.Rows) != len(b.Answer.Rows) {
 		t.Errorf("answers differ after persistence round trip: %d vs %d rows",
 			len(a.Answer.Rows), len(b.Answer.Rows))
@@ -205,10 +214,12 @@ func TestEngineDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer a.Release()
 	b, err := eng.Answer(q)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer b.Release()
 	if len(a.Answer.Rows) != len(b.Answer.Rows) {
 		t.Fatal("row counts differ between runs")
 	}
